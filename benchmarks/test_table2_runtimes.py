@@ -1,0 +1,56 @@
+"""Reproduces paper Table 2: measured runtimes of the five codes.
+
+Codes: F-Diam (ser), F-Diam (par), iFUB (ser), iFUB (par),
+Graph-Diam. — all on the same CSR substrate, median of the configured
+repeats, with the scaled per-input timeout producing T/O entries.
+
+Shape assertions (what "reproduced" means at this scale — see
+EXPERIMENTS.md for the full account): neither F-Diam engine ever times
+out, iFUB times out on high-diameter inputs exactly as in the paper's
+Table 2 (which lists it T/O on the grid, delaunay, and road inputs),
+and F-Diam (par) has the best timeout-penalized geometric-mean
+throughput. The paper's orders-of-magnitude gaps on small-world inputs
+come from implementation constants at 10^6-vertex scale and compress on
+a shared idealized substrate at 10^4 — the robustness ordering is what
+survives.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness import (
+    HIGH_DIAMETER_INPUTS,
+    penalized_geomean_throughput,
+    table2_runtimes,
+)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_runtimes(benchmark, code_runs, suite_config):
+    report = benchmark.pedantic(
+        table2_runtimes, args=(code_runs, suite_config), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    # F-Diam finishes every input (the paper's F-Diam never hits the cap).
+    for engine in ("F-Diam (par)", "F-Diam (ser)"):
+        for run in code_runs[engine]:
+            assert not run.timed_out, f"{engine} timed out on {run.graph_name}"
+
+    # iFUB's timeouts land on the paper's timeout inputs.
+    paper_ifub_timeouts = {
+        "2d-2e20.sym", "cit-Patents", "delaunay_n24", "europe_osm",
+        "kron_g500-logn21", "uk-2002", "USA-road-d.NY", "USA-road-d.USA",
+    }
+    ifub_timeouts = {r.graph_name for r in code_runs["iFUB (par)"] if r.timed_out}
+    if set(suite_config.inputs) >= paper_ifub_timeouts:
+        assert ifub_timeouts, "expected iFUB timeouts on the full suite"
+        assert ifub_timeouts <= paper_ifub_timeouts, ifub_timeouts
+
+    # Overall ranking with timeouts charged their budget: F-Diam (par)
+    # comes out on top.
+    penalized = {
+        name: penalized_geomean_throughput(runs, suite_config.timeout_s)
+        for name, runs in code_runs.items()
+    }
+    assert max(penalized, key=penalized.get) == "F-Diam (par)", penalized

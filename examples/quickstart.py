@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: compute the exact diameter of a graph with F-Diam.
+
+Covers the 90 % use case in ~30 lines: build a graph (from edges, a
+generator, or a file), call :func:`repro.fdiam`, and read the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.generators import grid_2d, watts_strogatz
+
+
+def main() -> None:
+    # --- 1. From an explicit edge list -------------------------------
+    g = repro.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)])
+    result = repro.fdiam(g)
+    print(f"tiny graph: diameter = {result.diameter}")
+
+    # --- 2. From a generator -----------------------------------------
+    grid = grid_2d(64, 64)
+    result = repro.fdiam(grid)
+    print(
+        f"{grid.name}: diameter = {result.diameter} "
+        f"(expected 126), connected = {result.connected}"
+    )
+
+    # --- 3. A small-world graph, with the run statistics -------------
+    sw = watts_strogatz(5000, 6, 0.05, seed=1)
+    result = repro.fdiam(sw)
+    stats = result.stats
+    print(f"\n{sw.name}: diameter = {result.diameter}")
+    print(f"  BFS traversals      : {stats.bfs_traversals}")
+    print(f"  initial 2-sweep bound: {stats.initial_bound}")
+    removed = stats.removal_fractions()
+    print(f"  winnowed            : {100 * removed['winnow']:.1f}% of vertices")
+    print(f"  eliminated          : {100 * removed['eliminate']:.1f}%")
+    print(f"  chain-processed     : {100 * removed['chain']:.1f}%")
+    print(
+        f"  explicitly evaluated: {100 * removed['computed']:.2f}% "
+        f"— the whole point of F-Diam"
+    )
+
+    # --- 4. Disconnected inputs --------------------------------------
+    from repro.generators import disjoint_union, path_graph
+
+    parts = disjoint_union([path_graph(10), path_graph(30)])
+    result = repro.fdiam(parts)
+    print(
+        f"\ndisconnected input: diameter reported as {result} "
+        f"(infinite = {result.infinite})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+``setup.py develop``. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Version information for the F-Diam reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Version of the paper this package reproduces.
+PAPER = (
+    "Bradley, Mongandampulath Akathoott, Burtscher: "
+    "Fast Exact Diameter Computation of Sparse Graphs, ICPP 2025"
+)

@@ -1,0 +1,35 @@
+"""Baseline exact-diameter algorithms (paper §2 and §5).
+
+All baselines share the CSR substrate and BFS engines with F-Diam so
+benchmark comparisons isolate the algorithmic differences:
+
+* :func:`naive_diameter` — one BFS per vertex (the O(nm) strawman).
+* :func:`ifub_diameter` — iFUB with 4-SWEEP start and fringe descent.
+* :func:`graph_diameter` — Akiba-style triangle-inequality pruning
+  (the paper's "Graph-Diameter" comparison code).
+* :func:`korf_diameter` — Korf's early-terminating partial BFS.
+* :func:`bounding_diameters` — Takes–Kosters two-sided bounds
+  (extra reference point beyond the paper's set).
+* :func:`sumsweep_diameter` — ExactSumSweep, simplified undirected
+  variant (extra reference point beyond the paper's set).
+"""
+
+from repro.baselines.base import BaselineContext, BaselineResult
+from repro.baselines.graph_diameter import graph_diameter
+from repro.baselines.ifub import four_sweep, ifub_diameter
+from repro.baselines.korf import korf_diameter
+from repro.baselines.naive import naive_diameter
+from repro.baselines.sumsweep import sumsweep_diameter
+from repro.baselines.takes_kosters import bounding_diameters
+
+__all__ = [
+    "BaselineContext",
+    "BaselineResult",
+    "bounding_diameters",
+    "four_sweep",
+    "graph_diameter",
+    "ifub_diameter",
+    "korf_diameter",
+    "naive_diameter",
+    "sumsweep_diameter",
+]

@@ -1,0 +1,39 @@
+"""Naive all-eccentricity diameter computation.
+
+The textbook APSP-style approach the paper's introduction argues
+against: one BFS per vertex, diameter = maximum level count. ``O(nm)``
+always — no pruning, no bounds. Serves as (a) the correctness oracle
+for every other algorithm on small graphs and (b) the reference point
+demonstrating why traversal-minimizing algorithms matter.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineContext, BaselineResult
+from repro.bfs.eccentricity import Engine
+from repro.graph.csr import CSRGraph
+
+__all__ = ["naive_diameter"]
+
+
+def naive_diameter(
+    graph: CSRGraph,
+    *,
+    engine: Engine = "parallel",
+    deadline: float | None = None,
+) -> BaselineResult:
+    """Compute the diameter with one BFS per vertex.
+
+    Respects the shared conventions: reports the largest eccentricity
+    over all connected components and flags disconnected inputs.
+    """
+    ctx = BaselineContext(graph, engine, deadline)
+    n = graph.num_vertices
+    best = 0
+    max_visited = 0
+    for v in range(n):
+        res = ctx.run_bfs(v)
+        best = max(best, res.eccentricity)
+        max_visited = max(max_visited, res.visited_count)
+    connected = max_visited == n if n else True
+    return ctx.result("naive", best, connected)

@@ -1,0 +1,58 @@
+"""Level-synchronous BFS engines.
+
+Contains the direction-optimized hybrid traversal the paper builds
+F-Diam on (:func:`run_bfs`), the partial/multi-source traversals behind
+Winnow/Eliminate (:func:`partial_bfs_levels`, :func:`ball`), the
+counter-based visited marks (:class:`VisitMarks`), the scalar reference
+engine (:func:`serial_bfs`), and traversal instrumentation.
+"""
+
+from repro.bfs.bottomup import bottomup_step
+from repro.bfs.eccentricity import (
+    Engine,
+    all_eccentricities,
+    eccentricity,
+    get_engine,
+)
+from repro.bfs.frontier import (
+    frontier_edge_count,
+    gather_neighbors,
+    gather_rows,
+    row_any,
+)
+from repro.bfs.hybrid import DEFAULT_THRESHOLD, BFSResult, run_bfs
+from repro.bfs.instrumentation import (
+    BFSTrace,
+    Direction,
+    LevelTrace,
+    TraversalCounter,
+)
+from repro.bfs.partial import ball, partial_bfs_levels
+from repro.bfs.reference import serial_bfs, serial_distances
+from repro.bfs.topdown import topdown_step
+from repro.bfs.visited import VisitMarks
+
+__all__ = [
+    "BFSResult",
+    "BFSTrace",
+    "DEFAULT_THRESHOLD",
+    "Direction",
+    "Engine",
+    "LevelTrace",
+    "TraversalCounter",
+    "VisitMarks",
+    "all_eccentricities",
+    "ball",
+    "bottomup_step",
+    "eccentricity",
+    "frontier_edge_count",
+    "gather_neighbors",
+    "gather_rows",
+    "get_engine",
+    "partial_bfs_levels",
+    "row_any",
+    "run_bfs",
+    "serial_bfs",
+    "serial_distances",
+    "topdown_step",
+]

@@ -1,0 +1,63 @@
+"""Bottom-up level-synchronous BFS step (vectorized).
+
+The "topology-driven bottom-up BFS" of Beamer et al. that the paper
+adopts (Section 4.6): when the frontier is large, it is cheaper for each
+*unvisited* vertex to ask "is any of my neighbours on the frontier?"
+than for the frontier to push to all its neighbours. The bottom-up step
+needs no atomics (each unvisited vertex writes only its own slot) but
+performs some wasted work, which is why the hybrid engine only selects
+it for large frontiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.frontier import gather_rows, row_any
+from repro.bfs.visited import VisitMarks
+from repro.graph.csr import CSRGraph
+
+__all__ = ["bottomup_step"]
+
+
+def bottomup_step(
+    graph: CSRGraph,
+    frontier_flag: np.ndarray,
+    marks: VisitMarks,
+) -> tuple[np.ndarray, int]:
+    """Expand one BFS level bottom-up.
+
+    Parameters
+    ----------
+    graph:
+        The graph being traversed.
+    frontier_flag:
+        Boolean array of length ``n``; ``True`` exactly on the current
+        frontier.
+    marks:
+        The run's shared visited marks.
+
+    Returns
+    -------
+    (next_frontier, edges_examined):
+        Sorted array of newly discovered vertices, and the number of
+        arcs inspected. The vectorized formulation inspects *all* arcs
+        of every unvisited candidate (a real bottom-up loop would break
+        at the first frontier neighbour); the returned count reflects
+        the arcs actually inspected here, i.e. it includes that wasted
+        work, mirroring the paper's discussion.
+    """
+    candidates = np.flatnonzero(marks.unvisited_mask())
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64), 0
+    values, lengths = gather_rows(
+        graph.indices, graph.indptr[candidates], graph.indptr[candidates + 1]
+    )
+    edges_examined = len(values)
+    if edges_examined == 0:
+        return np.empty(0, dtype=np.int64), 0
+    hit = row_any(frontier_flag[values], lengths)
+    next_frontier = candidates[hit]
+    if len(next_frontier):
+        marks.visit(next_frontier)
+    return next_frontier, edges_examined

@@ -1,0 +1,71 @@
+"""Eccentricity primitives built on the BFS engines.
+
+F-Diam computes the eccentricity of a vertex "by performing a parallel
+level-synchronous BFS starting from v and counting the number of levels"
+(Section 4). This module wraps that pattern and provides the
+all-vertices variant that the naive APSP baseline and the test oracles
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.bfs.hybrid import BFSResult, run_bfs
+from repro.bfs.reference import serial_bfs
+from repro.bfs.visited import VisitMarks
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Engine", "get_engine", "eccentricity", "all_eccentricities"]
+
+#: The two execution engines of the reproduction (see DESIGN.md §2):
+#: ``"parallel"`` = vectorized direction-optimized kernels,
+#: ``"serial"``   = scalar pure-Python level loop.
+Engine = Literal["parallel", "serial"]
+
+_EngineFn = Callable[..., BFSResult]
+
+
+def get_engine(engine: Engine) -> _EngineFn:
+    """Resolve an engine name to its BFS callable."""
+    if engine == "parallel":
+        return run_bfs
+    if engine == "serial":
+        return serial_bfs
+    raise ValueError(f"unknown engine {engine!r}; expected 'parallel' or 'serial'")
+
+
+def eccentricity(
+    graph: CSRGraph,
+    vertex: int,
+    marks: VisitMarks | None = None,
+    *,
+    engine: Engine = "parallel",
+) -> int:
+    """Eccentricity of ``vertex`` within its connected component."""
+    return get_engine(engine)(graph, vertex, marks).eccentricity
+
+
+def all_eccentricities(
+    graph: CSRGraph,
+    *,
+    engine: Engine = "parallel",
+    marks: VisitMarks | None = None,
+) -> np.ndarray:
+    """Eccentricity of every vertex (one BFS per vertex).
+
+    This is the quadratic APSP-style computation the paper's
+    introduction motivates against; it backs the naive baseline and the
+    exhaustive correctness oracle for small graphs. Isolated vertices
+    get eccentricity 0.
+    """
+    n = graph.num_vertices
+    if marks is None:
+        marks = VisitMarks(n)
+    bfs = get_engine(engine)
+    ecc = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        ecc[v] = bfs(graph, v, marks).eccentricity
+    return ecc

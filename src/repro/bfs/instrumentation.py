@@ -1,0 +1,147 @@
+"""Instrumentation for BFS traversals.
+
+The paper's evaluation reports several traversal-level quantities:
+Table 3 counts BFS traversals per algorithm, Section 6.2 reasons about
+frontier sizes and direction switches, and the parallel cost model
+(Figure 7) needs per-level frontier/edge traces. All of that is captured
+here. Instrumentation is opt-in and adds only a few scalar appends per
+level, so it is cheap enough to leave enabled in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Direction", "LevelTrace", "BFSTrace", "TraversalCounter"]
+
+
+class Direction(str, Enum):
+    """Which direction a level-synchronous BFS step executed in."""
+
+    TOP_DOWN = "top-down"
+    BOTTOM_UP = "bottom-up"
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """Measurements of a single BFS level.
+
+    Attributes
+    ----------
+    level:
+        1-based level index (level ``k`` discovers vertices at distance
+        ``k`` from the source set).
+    frontier_size:
+        Number of vertices on the input frontier of this step.
+    edges_examined:
+        Arcs scanned while expanding this level. For top-down steps this
+        is the out-degree sum of the frontier; for bottom-up steps it is
+        the number of arcs of unvisited vertices that were inspected
+        before each one found a frontier neighbour (or exhausted its
+        list), matching the paper's "wasted work" discussion.
+    direction:
+        Whether the step ran top-down or bottom-up.
+    discovered:
+        Number of new vertices discovered by this step.
+    """
+
+    level: int
+    frontier_size: int
+    edges_examined: int
+    direction: Direction
+    discovered: int
+
+
+@dataclass
+class BFSTrace:
+    """Complete per-level trace of one BFS traversal."""
+
+    source: int
+    levels: list[LevelTrace] = field(default_factory=list)
+
+    def record(
+        self,
+        frontier_size: int,
+        edges_examined: int,
+        direction: Direction,
+        discovered: int,
+    ) -> None:
+        """Append one level's measurements."""
+        self.levels.append(
+            LevelTrace(
+                level=len(self.levels) + 1,
+                frontier_size=frontier_size,
+                edges_examined=edges_examined,
+                direction=direction,
+                discovered=discovered,
+            )
+        )
+
+    @property
+    def eccentricity(self) -> int:
+        """Levels that discovered at least one vertex."""
+        return sum(1 for lv in self.levels if lv.discovered > 0)
+
+    @property
+    def total_edges_examined(self) -> int:
+        """Total arcs scanned by the traversal."""
+        return sum(lv.edges_examined for lv in self.levels)
+
+    @property
+    def total_discovered(self) -> int:
+        """Vertices discovered, excluding the source set."""
+        return sum(lv.discovered for lv in self.levels)
+
+    @property
+    def num_direction_switches(self) -> int:
+        """How many times the hybrid engine changed direction."""
+        return sum(
+            1
+            for a, b in zip(self.levels, self.levels[1:])
+            if a.direction != b.direction
+        )
+
+    def frontier_sizes(self) -> list[int]:
+        """Frontier size per level (input of the parallel cost model)."""
+        return [lv.frontier_size for lv in self.levels]
+
+    def edge_counts(self) -> list[int]:
+        """Edges examined per level (input of the parallel cost model)."""
+        return [lv.edges_examined for lv in self.levels]
+
+
+@dataclass
+class TraversalCounter:
+    """Counts BFS traversals using the paper's Table 3 convention.
+
+    "We count a BFS traversal as either the computation of the
+    eccentricity of a vertex or the use of the Winnow function. ...
+    the Eliminate function typically only traverses a small portion of
+    the graph, so we do not count it."
+    """
+
+    eccentricity_calls: int = 0
+    winnow_calls: int = 0
+    eliminate_calls: int = 0  # tracked but excluded from the headline count
+    traces: list[BFSTrace] = field(default_factory=list)
+    keep_traces: bool = False
+
+    @property
+    def bfs_traversals(self) -> int:
+        """The paper's headline BFS-traversal count."""
+        return self.eccentricity_calls + self.winnow_calls
+
+    def count_eccentricity(self, trace: BFSTrace | None = None) -> None:
+        """Record one eccentricity-computing BFS."""
+        self.eccentricity_calls += 1
+        if trace is not None and self.keep_traces:
+            self.traces.append(trace)
+
+    def count_winnow(self) -> None:
+        """Record one Winnow partial BFS."""
+        self.winnow_calls += 1
+
+    def count_eliminate(self) -> None:
+        """Record one Eliminate partial BFS (not in the headline count)."""
+        self.eliminate_calls += 1

@@ -1,0 +1,111 @@
+"""Partial and multi-source BFS traversals.
+
+These are the traversal shapes behind F-Diam's pruning machinery:
+
+* **Winnow** (Algorithm 3) is a single-source partial BFS capped at
+  ``⌊bound/2⌋`` levels that collects everything it reaches.
+* **Eliminate** (Algorithm 5) is a single-source partial BFS capped at
+  ``bound − ecc`` levels whose per-level sets receive eccentricity
+  upper bounds.
+* **Extension of eliminated regions** (Section 4.5) is a *multi-source*
+  partial BFS seeded with every vertex whose recorded bound equals the
+  old diameter bound, run for ``new_bound − old_bound`` levels.
+
+All three reduce to :func:`partial_bfs_levels`, which returns the
+discovered vertices level by level so callers can attach per-level
+metadata. Traversals run top-down: pruning frontiers are either small
+(Eliminate) or their cost is dominated by first-touch work (Winnow), and
+the paper's Algorithm 3/5 use plain top-down worklists as well.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bfs.topdown import topdown_step
+from repro.bfs.visited import VisitMarks
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["partial_bfs_levels", "ball"]
+
+
+def partial_bfs_levels(
+    graph: CSRGraph,
+    sources: Sequence[int] | np.ndarray,
+    max_level: int | None,
+    marks: VisitMarks | None = None,
+    *,
+    mark_sources: bool = True,
+) -> list[np.ndarray]:
+    """Expand up to ``max_level`` BFS levels from a set of sources.
+
+    Parameters
+    ----------
+    graph:
+        Graph to traverse.
+    sources:
+        One or more starting vertices (deduplicated).
+    max_level:
+        Number of levels to expand; ``0`` returns immediately and
+        ``None`` runs to exhaustion.
+    marks:
+        Shared visited marks; a fresh epoch is started. A private
+        instance is created when omitted.
+    mark_sources:
+        Whether the sources themselves are marked visited (always true
+        for the callers here; exposed for tests).
+
+    Returns
+    -------
+    list of arrays
+        ``result[k]`` holds the vertices first discovered at level
+        ``k + 1`` (i.e. at distance ``k + 1`` from the source set).
+        The sources themselves are not included.
+    """
+    n = graph.num_vertices
+    sources = np.unique(np.asarray(sources, dtype=np.int64))
+    if len(sources) and (sources[0] < 0 or sources[-1] >= n):
+        raise AlgorithmError(f"partial BFS source out of range [0, {n})")
+    if marks is None:
+        marks = VisitMarks(n)
+    marks.new_epoch()
+    if mark_sources:
+        marks.visit(sources)
+
+    levels: list[np.ndarray] = []
+    frontier = sources
+    level = 0
+    while len(frontier):
+        if max_level is not None and level >= max_level:
+            break
+        next_frontier, _ = topdown_step(graph, frontier, marks)
+        if len(next_frontier) == 0:
+            break
+        levels.append(next_frontier)
+        frontier = next_frontier
+        level += 1
+    return levels
+
+
+def ball(
+    graph: CSRGraph,
+    center: int,
+    radius: int,
+    marks: VisitMarks | None = None,
+    *,
+    include_center: bool = True,
+) -> np.ndarray:
+    """All vertices within ``radius`` steps of ``center`` (sorted).
+
+    This is the region Winnow removes (with ``radius = ⌊bound/2⌋``) and
+    the region Chain Processing removes around a chain anchor. Also used
+    by the property-based tests to verify the safety theorems directly.
+    """
+    levels = partial_bfs_levels(graph, [center], radius, marks)
+    parts = levels + ([np.array([center], dtype=np.int64)] if include_center else [])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))

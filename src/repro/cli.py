@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <graph-file>``.
+
+A downstream-friendly front door mirroring how the paper's released
+binary is used — point it at a graph file, get the exact diameter plus
+the run statistics. Supports every format in :mod:`repro.graph.io`,
+the serial/parallel engines, the ablation switches, and the extended
+radius/center/periphery analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+from repro.core import FDiamConfig, eccentricity_spectrum, fdiam
+from repro.errors import ReproError
+from repro.graph import degree_summary, read_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "F-Diam: fast exact diameter computation of sparse graphs "
+            "(reproduction of Bradley et al., ICPP 2025)"
+        ),
+    )
+    parser.add_argument(
+        "graph",
+        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, .npz)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["parallel", "serial"],
+        default="parallel",
+        help="BFS engine: vectorized (default) or scalar reference",
+    )
+    parser.add_argument(
+        "--no-winnow", action="store_true", help="disable the Winnow stage"
+    )
+    parser.add_argument(
+        "--no-eliminate", action="store_true", help="disable the Eliminate stage"
+    )
+    parser.add_argument(
+        "--no-chain", action="store_true", help="disable Chain Processing"
+    )
+    parser.add_argument(
+        "--start-vertex-zero",
+        action="store_true",
+        help="start from vertex 0 instead of the max-degree vertex",
+    )
+    parser.add_argument(
+        "--spectrum",
+        action="store_true",
+        help="also compute the exact radius, center, and periphery",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-stage statistics"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        graph = read_graph(args.graph)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    summary = degree_summary(graph)
+    print(f"graph    : {graph.name}")
+    print(f"vertices : {summary.num_vertices:,}")
+    print(f"edges    : {summary.num_edges:,} "
+          f"(avg degree {summary.average_degree:.1f}, max {summary.max_degree})")
+
+    config = FDiamConfig(
+        engine=args.engine,
+        use_winnow=not args.no_winnow,
+        use_eliminate=not args.no_eliminate,
+        use_chain=not args.no_chain,
+        use_max_degree_start=not args.start_vertex_zero,
+    )
+    start = time.perf_counter()
+    try:
+        result = fdiam(graph, config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+
+    if result.infinite:
+        print(f"diameter : infinite (graph is disconnected); "
+              f"largest component eccentricity = {result.diameter}")
+    else:
+        print(f"diameter : {result.diameter}")
+    print(f"time     : {elapsed:.3f}s "
+          f"({graph.num_vertices / max(elapsed, 1e-9):,.0f} vertices/s)")
+
+    if args.stats:
+        stats = result.stats
+        print(f"\nBFS traversals : {stats.bfs_traversals} "
+              f"({stats.eccentricity_bfs} eccentricity + {stats.winnow_calls} winnow)")
+        print(f"initial bound  : {stats.initial_bound} "
+              f"({stats.bound_updates} upgrades)")
+        print("removed by     :")
+        for stage, frac in stats.removal_fractions().items():
+            print(f"  {stage:10s} {100 * frac:6.2f}%")
+        print("time by stage  :")
+        for stage, frac in stats.times.fractions().items():
+            print(f"  {stage:10s} {100 * frac:6.2f}%")
+
+    if args.spectrum:
+        spec = eccentricity_spectrum(graph, engine=args.engine)
+        print(f"\nradius    : {spec.radius} (largest component)")
+        print(f"center    : {len(spec.center)} vertices "
+              f"(e.g. {spec.center[:5].tolist()})")
+        print(f"periphery : {len(spec.periphery)} vertices "
+              f"(e.g. {spec.periphery[:5].tolist()})")
+        print(f"spectrum BFS traversals: {spec.bfs_traversals}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

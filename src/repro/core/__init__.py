@@ -1,0 +1,69 @@
+"""The F-Diam algorithm (paper Algorithms 1–5).
+
+Public entry point: :func:`fdiam`. The individual techniques — 2-sweep,
+Winnow, Chain Processing, Eliminate, incremental extension — are
+exported for direct use and for the safety-property tests.
+"""
+
+from repro.core.analysis import (
+    WinnowCoverage,
+    coverage_by_centrality,
+    winnow_coverage,
+)
+from repro.core.approx import (
+    DiameterEstimate,
+    four_sweep_estimate,
+    two_sweep_estimate,
+)
+from repro.core.chain import follow_chain, process_chains
+from repro.core.concurrent import ConcurrentReport, fdiam_concurrent
+from repro.core.config import ABLATIONS, FDiamConfig
+from repro.core.eliminate import eliminate
+from repro.core.extend import extend_eliminated
+from repro.core.extremes import (
+    EccentricitySpectrum,
+    center,
+    eccentricity_spectrum,
+    periphery,
+    radius,
+)
+from repro.core.fdiam import DiameterResult, fdiam, fdiam_with_state
+from repro.core.state import ACTIVE, MAX_BOUND, WINNOWED, FDiamState
+from repro.core.stats import FDiamStats, Reason, StageTimes
+from repro.core.sweep import TwoSweepResult, two_sweep
+from repro.core.winnow import winnow
+
+__all__ = [
+    "ABLATIONS",
+    "ACTIVE",
+    "ConcurrentReport",
+    "DiameterEstimate",
+    "DiameterResult",
+    "fdiam_concurrent",
+    "four_sweep_estimate",
+    "two_sweep_estimate",
+    "WinnowCoverage",
+    "coverage_by_centrality",
+    "winnow_coverage",
+    "EccentricitySpectrum",
+    "center",
+    "eccentricity_spectrum",
+    "periphery",
+    "radius",
+    "FDiamConfig",
+    "FDiamState",
+    "FDiamStats",
+    "MAX_BOUND",
+    "Reason",
+    "StageTimes",
+    "TwoSweepResult",
+    "WINNOWED",
+    "eliminate",
+    "extend_eliminated",
+    "fdiam",
+    "fdiam_with_state",
+    "follow_chain",
+    "process_chains",
+    "two_sweep",
+    "winnow",
+]

@@ -1,0 +1,149 @@
+"""Chain Processing (paper §4.3, Algorithm 4) — F-Diam's second novelty.
+
+A degree-1 vertex ``x`` routes every shortest path through its single
+neighbour, so ``ecc(x) = ecc(y) + 1`` for its neighbour ``y`` (in any
+component with more than one edge). Following a run of degree-2
+vertices ("the chain, which looks like a linked list") from ``x`` to the
+first vertex ``w`` of degree ≠ 2 generalizes this: with chain length
+``s``, either some other vertex sits at distance ``s`` from ``w`` and
+``ecc(w) = ecc(x) - s``, or the subtree hanging off ``w`` is shallower
+than ``s`` and ``x`` has the globally maximal eccentricity. In **both**
+cases every vertex within ``s`` steps of ``w`` — except ``x`` itself —
+is dominated by ``x`` and can be removed without computing a single
+eccentricity.
+
+Algorithm 4 realizes the removal as one Eliminate call per chain with
+the pseudo-eccentricity ``MAX - s`` and pseudo-bound ``MAX`` (expanding
+exactly ``s`` levels around the anchor) and re-activates the tip
+afterwards. This implementation batches all chains into a **single
+staggered multi-source partial BFS**: the anchor of a length-``s``
+chain enters the frontier at offset ``max_len - s``, so a vertex first
+discovered at wave step ``k`` receives the bound
+``MAX - max_len + k = min_i (MAX - s_i + d(anchor_i, v))`` — exactly
+the element-wise minimum of the per-chain Eliminate writes that the
+sequential Algorithm 4 produces under this library's tightest-bound
+write rule. The removed set (the union of the per-chain balls) is
+identical; the only divergence is that *every* chain tip stays active,
+whereas sequential processing lets a later chain's ball swallow an
+earlier tip — keeping strictly more witnesses is always safe, and it
+turns up to ``#chains`` near-full traversals into one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.topdown import topdown_step
+from repro.core.state import MAX_BOUND, FDiamState
+from repro.core.stats import Reason
+from repro.graph.degrees import degree_one_vertices
+
+__all__ = ["process_chains", "follow_chain"]
+
+
+def follow_chain(state: FDiamState, tip: int) -> tuple[int, int]:
+    """Walk the degree-2 chain starting at degree-1 vertex ``tip``.
+
+    Returns ``(anchor, length)``: the first vertex of degree ≠ 2
+    reached, and the number of edges walked. Termination is guaranteed
+    because a degree-2 run starting at a degree-1 vertex cannot close a
+    cycle (a cycle entry vertex would need degree ≥ 3).
+    """
+    graph = state.graph
+    prev = tip
+    node = int(graph.neighbors(tip)[0])
+    length = 1
+    while graph.degree(node) == 2:
+        a, b = graph.neighbors(node)
+        nxt = int(b) if int(a) == prev else int(a)
+        prev, node = node, nxt
+        length += 1
+    return node, length
+
+
+def process_chains(state: FDiamState) -> int:
+    """Run Chain Processing over every degree-1 vertex.
+
+    Returns the number of chains processed. All removals are attributed
+    to the Chain stage (paper Table 4 credits them there even though
+    they flow through the Eliminate machinery).
+    """
+    tips = degree_one_vertices(state.graph)
+    if len(tips) == 0:
+        return 0
+
+    # Walk every chain first (scalar, but chains are short and few).
+    anchors: list[int] = []
+    lengths: list[int] = []
+    for tip in tips:
+        anchor, length = follow_chain(state, int(tip))
+        anchors.append(anchor)
+        lengths.append(length)
+    max_len = max(lengths)
+
+    n = state.graph.num_vertices
+    is_tip = np.zeros(n, dtype=bool)
+    is_tip[tips] = True
+    is_anchor = np.zeros(n, dtype=bool)
+    is_anchor[np.asarray(anchors, dtype=np.int64)] = True
+    tip_step = np.full(n, -1, dtype=np.int64)
+
+    # Staggered multi-source wave: a chain of length s injects its
+    # anchor at offset max_len - s; wave step k writes MAX - max_len + k.
+    by_offset: dict[int, list[int]] = {}
+    for anchor, length in zip(anchors, lengths):
+        by_offset.setdefault(max_len - length, []).append(anchor)
+
+    marks = state.marks
+    marks.new_epoch()
+    state.stats.eliminate_calls += 1
+    base = int(MAX_BOUND) - max_len
+    frontier = np.empty(0, dtype=np.int64)
+    for step in range(max_len + 1):
+        injected = by_offset.get(step)
+        if injected is not None:
+            arr = np.unique(np.asarray(injected, dtype=np.int64))
+            fresh = arr[~marks.is_visited(arr)]
+            if len(fresh):
+                marks.visit(fresh)
+                # The anchor itself is removed with its own pseudo-ecc
+                # (Algorithm 4's mark_source write). Anchors already
+                # swallowed by an earlier chain's wave are skipped: the
+                # running wave continues past them with bounds at least
+                # as tight, covering their ball (see module docstring).
+                state.remove(fresh, np.int64(base + step), Reason.CHAIN)
+                hit = fresh[is_tip[fresh]]
+                tip_step[hit] = step
+                frontier = np.concatenate([frontier, fresh])
+        if step == max_len:
+            break
+        if len(frontier):
+            frontier, _ = topdown_step(state.graph, frontier, marks)
+            if len(frontier):
+                state.remove(frontier, np.int64(base + step + 1), Reason.CHAIN)
+                hit = frontier[is_tip[frontier]]
+                tip_step[hit] = step + 1
+
+    # Rescue the surviving tips (Algorithm 4 line 9), applying the two
+    # domination rules the sequential order applies implicitly:
+    #
+    # 1. Tips sharing an (anchor, length) pair have identical
+    #    eccentricity (every path out runs through the same anchor at
+    #    the same offset), so one representative per group suffices —
+    #    sequential processing keeps exactly the last one.
+    # 2. A tip first reached strictly before step max_len is *strictly*
+    #    inside a longer chain's removal ball (a pendant tip is only
+    #    reachable through its own chain, so early discovery implies
+    #    d(anchor_j, anchor_i) < s_j - s_i for some chain j) — it is
+    #    dominated by that longer chain's tip, and strict domination
+    #    cannot cycle because it forces s_j > s_i.
+    #
+    # Tips that double as anchors (2-vertex path components) are kept
+    # unconditionally.
+    representative: dict[tuple[int, int], int] = {}
+    for tip, anchor, length in zip(tips, anchors, lengths):
+        representative[(anchor, length)] = int(tip)
+    for tip in representative.values():
+        if tip_step[tip] == max_len or tip_step[tip] == -1 or is_anchor[tip]:
+            state.reactivate(tip)
+    return len(tips)

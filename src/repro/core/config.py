@@ -1,0 +1,85 @@
+"""Configuration of the F-Diam driver, including ablation switches.
+
+The paper's Section 6.5 evaluates F-Diam with individual features
+disabled ("We only disable one feature at a time as disabling multiple
+together mostly results in timeouts"). Every switch studied there is a
+field here so the ablation benchmarks (Table 5, Figure 9) are plain
+configuration changes, not code forks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.bfs.eccentricity import Engine
+from repro.bfs.hybrid import DEFAULT_THRESHOLD
+
+__all__ = ["FDiamConfig", "ABLATIONS"]
+
+Order = Literal["sequential", "random"]
+
+
+@dataclass(frozen=True)
+class FDiamConfig:
+    """Tunables and ablation switches of :func:`repro.core.fdiam.fdiam`.
+
+    Attributes
+    ----------
+    engine:
+        ``"parallel"`` (vectorized direction-optimized BFS — the paper's
+        OpenMP code) or ``"serial"`` (scalar Python BFS — the paper's
+        serial code). Affects the eccentricity traversals, which
+        dominate the runtime (paper Fig. 8); the pruning passes share
+        one implementation (see DESIGN.md §2).
+    use_winnow:
+        Enable the Winnow stage (paper §4.2). Disabling reproduces the
+        "no Winnow" ablation.
+    use_eliminate:
+        Enable the Eliminate stage and the incremental extension of
+        eliminated regions (§4.4/§4.5). Disabling reproduces "no Elim.".
+    use_chain:
+        Enable Chain Processing (§4.3).
+    use_max_degree_start:
+        Start the 2-sweep and Winnow from the max-degree vertex ``u``.
+        ``False`` starts from vertex 0, reproducing the "no 'u'"
+        ablation ("Changing the starting point from the maximum-degree
+        vertex u to the vertex with ID zero").
+    order:
+        Order in which remaining active vertices are evaluated:
+        ``"sequential"`` follows Algorithm 1's id scan; ``"random"``
+        follows the §4.4 prose ("F-Diam randomly picks such a vertex").
+    seed:
+        RNG seed for ``order="random"``.
+    threshold:
+        Direction-switch threshold of the hybrid BFS (fraction of |V|).
+    directions:
+        Allow bottom-up steps in the hybrid BFS; ``False`` forces pure
+        top-down.
+    keep_traces:
+        Retain per-level BFS traces (needed by the parallel cost model).
+    """
+
+    engine: Engine = "parallel"
+    use_winnow: bool = True
+    use_eliminate: bool = True
+    use_chain: bool = True
+    use_max_degree_start: bool = True
+    order: Order = "sequential"
+    seed: int = 0
+    threshold: float = DEFAULT_THRESHOLD
+    directions: bool = True
+    keep_traces: bool = False
+
+    def ablate(self, **changes: object) -> "FDiamConfig":
+        """A copy of this config with the given fields changed."""
+        return replace(self, **changes)
+
+
+#: The four variants compared in the paper's Table 5 / Figure 9.
+ABLATIONS: dict[str, FDiamConfig] = {
+    "F-Diam": FDiamConfig(),
+    "no Winnow": FDiamConfig(use_winnow=False),
+    "no Elim.": FDiamConfig(use_eliminate=False),
+    "no 'u'": FDiamConfig(use_max_degree_start=False),
+}

@@ -1,0 +1,199 @@
+"""The F-Diam driver (paper Algorithm 1).
+
+Orchestrates the stages:
+
+1. remove degree-0 vertices (eccentricity 0, no computation needed),
+2. 2-sweep from the max-degree vertex ``u`` → initial ``bound``,
+3. Winnow the ball ``B(u, ⌊bound/2⌋)``,
+4. Chain Processing,
+5. loop over the remaining active vertices: compute the eccentricity;
+   on a larger value, upgrade the bound, extend the winnow ball, and
+   extend all eliminated regions with one multi-source sweep; otherwise
+   Eliminate around the vertex.
+
+The final bound is the exact largest eccentricity over all connected
+components — the diameter for connected inputs, and the paper's
+reported "CC diameter" (with an infinity flag) for disconnected ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chain import process_chains
+from repro.core.config import FDiamConfig
+from repro.core.eliminate import eliminate
+from repro.core.extend import extend_eliminated
+from repro.core.state import FDiamState
+from repro.core.stats import FDiamStats, Reason
+from repro.core.sweep import two_sweep
+from repro.core.winnow import winnow
+from repro.errors import AlgorithmError, BenchmarkTimeout
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DiameterResult", "fdiam", "fdiam_with_state"]
+
+
+@dataclass(frozen=True)
+class DiameterResult:
+    """Result of an exact diameter computation.
+
+    Attributes
+    ----------
+    diameter:
+        The largest eccentricity in any connected component. For a
+        connected graph this is the graph diameter; for a disconnected
+        graph the true diameter is infinite (see ``infinite``) and this
+        value is what the paper's codes report alongside the flag.
+    connected:
+        Whether the graph is a single connected component.
+    infinite:
+        ``True`` iff the graph is disconnected (so the true diameter is
+        unbounded).
+    stats:
+        Full per-run statistics (traversal counts, removal attribution,
+        stage timings).
+    """
+
+    diameter: int
+    connected: bool
+    infinite: bool
+    stats: FDiamStats
+
+    def __str__(self) -> str:
+        if self.infinite:
+            return f"infinite (largest component eccentricity: {self.diameter})"
+        return str(self.diameter)
+
+
+def fdiam(
+    graph: CSRGraph,
+    config: FDiamConfig | None = None,
+    *,
+    deadline: float | None = None,
+) -> DiameterResult:
+    """Compute the exact diameter of ``graph`` (see :func:`fdiam_with_state`).
+
+    This is the public entry point; it discards the internal run state.
+    """
+    result, _ = fdiam_with_state(graph, config, deadline=deadline)
+    return result
+
+
+def fdiam_with_state(
+    graph: CSRGraph,
+    config: FDiamConfig | None = None,
+    *,
+    deadline: float | None = None,
+) -> tuple[DiameterResult, FDiamState]:
+    """Compute the exact diameter of ``graph`` with the F-Diam algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted graph (any :class:`CSRGraph`); may be
+        disconnected.
+    config:
+        Tunables and ablation switches; defaults to the full algorithm
+        with the vectorized engine.
+    deadline:
+        Optional ``time.perf_counter()`` instant after which the run
+        aborts with :class:`~repro.errors.BenchmarkTimeout` — the same
+        per-input budget mechanism the baselines use, mirroring the
+        paper's 2.5-hour cap (which F-Diam itself never hit, but the
+        ablated variants in Table 5/Figure 9 do).
+
+    Returns
+    -------
+    (DiameterResult, FDiamState)
+        The result plus the final run state (per-vertex status and
+        removal attribution), which the invariant tests and the
+        analysis examples inspect.
+
+    Raises
+    ------
+    AlgorithmError
+        If the graph has no vertices.
+    BenchmarkTimeout
+        If ``deadline`` passes mid-run.
+    """
+    if graph.num_vertices == 0:
+        raise AlgorithmError("fdiam() requires a graph with at least one vertex")
+    config = config or FDiamConfig()
+    state = FDiamState(graph, config)
+    stats = state.stats
+    n = graph.num_vertices
+
+    with stats.timing("other"):
+        # Degree-0 vertices have eccentricity 0 and require no BFS
+        # (paper Table 4's last column).
+        isolated = graph.isolated_vertices()
+        if len(isolated):
+            state.remove(isolated, np.int64(0), Reason.DEGREE_ZERO)
+        start = graph.max_degree_vertex() if config.use_max_degree_start else 0
+
+    # ------------------------------------------------------------------
+    # Initial bound (Algorithm 1 lines 1-3).
+    # ------------------------------------------------------------------
+    with stats.timing("init_bfs"):
+        sweep = two_sweep(state, start)
+    state.bound = sweep.bound
+    stats.initial_bound = sweep.bound
+    connected = sweep.visited_from_start == n
+
+    # ------------------------------------------------------------------
+    # Bulk pruning (Algorithm 1 lines 4-5).
+    # ------------------------------------------------------------------
+    if config.use_winnow:
+        with stats.timing("winnow"):
+            winnow(state, start, state.bound)
+    if config.use_chain:
+        with stats.timing("chain"):
+            process_chains(state)
+
+    # ------------------------------------------------------------------
+    # Main loop (Algorithm 1 lines 6-21).
+    # ------------------------------------------------------------------
+    if config.order == "random":
+        order = np.random.default_rng(config.seed).permutation(n)
+    else:
+        order = np.arange(n)
+
+    for v in order:
+        v = int(v)
+        if not state.is_active(v):
+            continue
+        if deadline is not None and time.perf_counter() > deadline:
+            raise BenchmarkTimeout(
+                f"F-Diam exceeded its time budget after "
+                f"{stats.eccentricity_bfs} eccentricity BFS calls"
+            )
+        with stats.timing("ecc_bfs"):
+            ecc_v = state.ecc_bfs(v).eccentricity
+        state.remove(v, np.int64(ecc_v), Reason.COMPUTED)
+
+        if ecc_v > state.bound:
+            old = state.bound
+            state.bound = ecc_v
+            stats.bound_updates += 1
+            if config.use_winnow:
+                with stats.timing("winnow"):
+                    winnow(state, start, state.bound)
+            if config.use_eliminate:
+                with stats.timing("eliminate"):
+                    extend_eliminated(state, old, state.bound)
+        elif config.use_eliminate and ecc_v < state.bound:
+            with stats.timing("eliminate"):
+                eliminate(state, v, ecc_v, state.bound)
+        # ecc_v == bound: "F-Diam only eliminates v" — already done above.
+
+    result = DiameterResult(
+        diameter=state.bound,
+        connected=connected,
+        infinite=not connected,
+        stats=stats,
+    )
+    return result, state

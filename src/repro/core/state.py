@@ -1,0 +1,177 @@
+"""Shared mutable state of one F-Diam run.
+
+The paper's Algorithms 1–5 communicate through three pieces of shared
+state: the per-vertex eccentricity slots (where any write also removes
+the vertex from consideration), the visit-counter array, and the current
+diameter bound. :class:`FDiamState` bundles them together with the
+first-touch removal bookkeeping needed for the Table 4 statistics and
+the saved Winnow frontier needed for incremental extension (§4.5).
+
+Status encoding (per-vertex ``int64``)
+--------------------------------------
+* ``ACTIVE``   (``2**62``)     — eccentricity still needs consideration.
+* ``MAX_BOUND``(``ACTIVE - 1``)— the ``MAX`` constant of Algorithm 4.
+* ``WINNOWED`` (``-1``)        — removed by Winnow; carries no bound.
+* any other value ``b``        — removed; ``b`` is a valid upper bound
+  on the vertex's eccentricity (it equals the true eccentricity when
+  the vertex was explicitly evaluated).
+
+Following the paper, a vertex's status is written at most once per
+partial BFS but *may* be overwritten across calls; every write is a
+valid upper bound, so overwrites never violate the invariant
+``status[v] >= ecc(v)`` for removed vertices (checked property-based in
+the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.eccentricity import get_engine
+from repro.bfs.hybrid import BFSResult
+from repro.bfs.visited import VisitMarks
+from repro.core.config import FDiamConfig
+from repro.core.stats import FDiamStats, Reason
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ACTIVE", "MAX_BOUND", "WINNOWED", "FDiamState"]
+
+#: Sentinel for "still under consideration".
+ACTIVE = np.int64(2**62)
+#: The ``MAX`` pseudo-eccentricity used by Chain Processing
+#: (paper: "The constant MAX is INT_MAX - 1").
+MAX_BOUND = ACTIVE - 1
+#: Marker for vertices removed by Winnow (no bound information).
+WINNOWED = np.int64(-1)
+
+
+class FDiamState:
+    """Mutable state threaded through every stage of one run."""
+
+    __slots__ = (
+        "graph",
+        "config",
+        "stats",
+        "status",
+        "reason",
+        "marks",
+        "bound",
+        "winnow_center",
+        "winnow_radius",
+        "winnow_frontier",
+        "winnow_visited",
+    )
+
+    def __init__(self, graph: CSRGraph, config: FDiamConfig):
+        self.graph = graph
+        self.config = config
+        self.stats = FDiamStats(
+            num_vertices=graph.num_vertices, num_edges=graph.num_edges
+        )
+        #: Per-vertex status (see module docstring for the encoding).
+        self.status = np.full(graph.num_vertices, ACTIVE, dtype=np.int64)
+        #: First-touch removal attribution per vertex (Reason values).
+        self.reason = np.full(graph.num_vertices, Reason.ACTIVE, dtype=np.uint8)
+        #: Shared visit counter (the paper's ``counter`` parameter).
+        self.marks = VisitMarks(graph.num_vertices)
+        #: Current lower bound on the diameter.
+        self.bound = 0
+
+        # Incremental-Winnow bookkeeping (§4.5: "Incrementally extending
+        # the winnowed region is trivial as it is centered around one
+        # starting vertex"): the BFS around the winnow centre is resumed
+        # from its saved frontier instead of restarted.
+        self.winnow_center: int | None = None
+        self.winnow_radius = 0
+        self.winnow_frontier = np.empty(0, dtype=np.int64)
+        self.winnow_visited = np.zeros(graph.num_vertices, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Removal primitives (every status write funnels through these so
+    # the first-touch attribution stays consistent).
+    # ------------------------------------------------------------------
+    def remove(
+        self, vertices: np.ndarray | int, value: np.int64, reason: Reason
+    ) -> None:
+        """Write ``value`` into the status of ``vertices``.
+
+        Vertices that were still active are attributed to ``reason`` and
+        receive ``value``. Vertices already removed keep their original
+        attribution and keep the *tighter* of the two bounds — a safe
+        refinement of the paper's unconditional overwrite (every write
+        is a valid upper bound, so the minimum is too), which preserves
+        the invariant that COMPUTED vertices record their exact
+        eccentricity even when a later Chain/Eliminate wave re-crosses
+        them. WINNOWED markers are terminal: a winnowed vertex is inside
+        the one winnow ball forever, so numeric bounds neither replace
+        the marker nor get replaced by it.
+        """
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        current = self.status[vertices]
+        newly = vertices[current == ACTIVE]
+        if len(newly):
+            self.stats.removed_by[reason] += len(newly)
+            self.reason[newly] = reason
+            self.status[newly] = value
+        already = vertices[(current != ACTIVE) & (current != WINNOWED)]
+        if len(already) and value != WINNOWED:
+            self.status[already] = np.minimum(self.status[already], value)
+
+    def remove_levels(
+        self, levels: list[np.ndarray], base: int, reason: Reason
+    ) -> None:
+        """Write ``base + k + 1`` into level ``k``'s vertices (Alg. 5 body)."""
+        for k, level in enumerate(levels):
+            self.remove(level, np.int64(base + k + 1), reason)
+
+    def reactivate(self, vertex: int) -> None:
+        """Set a vertex back to ACTIVE (Chain Processing's tip rescue).
+
+        Returns the attribution taken by whichever stage removed the
+        vertex so the Table 4 percentages keep summing correctly.
+        """
+        if self.status[vertex] != ACTIVE:
+            self.stats.removed_by[self.reason[vertex]] -= 1
+            self.reason[vertex] = Reason.ACTIVE
+            self.status[vertex] = ACTIVE
+
+    # ------------------------------------------------------------------
+    # Eccentricity BFS through the configured engine
+    # ------------------------------------------------------------------
+    def ecc_bfs(self, vertex: int) -> BFSResult:
+        """Run one counted eccentricity BFS with the configured engine.
+
+        Central funnel for every eccentricity traversal of a run: it
+        applies the config's engine, direction threshold, and trace
+        collection, and increments the Table 3 traversal counter.
+        """
+        cfg = self.config
+        self.stats.eccentricity_bfs += 1
+        if cfg.engine == "serial":
+            return get_engine("serial")(self.graph, vertex, self.marks)
+        res = get_engine("parallel")(
+            self.graph,
+            vertex,
+            self.marks,
+            threshold=cfg.threshold,
+            directions=cfg.directions,
+            record_trace=cfg.keep_traces,
+        )
+        if res.trace is not None:
+            self.stats.traces.append(res.trace)
+        return res
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_active(self, vertex: int) -> bool:
+        """Whether ``vertex`` still needs its eccentricity considered."""
+        return bool(self.status[vertex] == ACTIVE)
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of all still-active vertices."""
+        return self.status == ACTIVE
+
+    def active_count(self) -> int:
+        """Number of still-active vertices."""
+        return int(np.count_nonzero(self.status == ACTIVE))

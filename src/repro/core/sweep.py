@@ -1,0 +1,69 @@
+"""The 2-sweep initial diameter bound (paper §4.1).
+
+F-Diam starts from the highest-degree vertex ``u`` (likely central,
+likely low eccentricity), finds a vertex ``w`` in the *last* BFS level
+(maximally far from ``u``, likely peripheral), and uses ``ecc(w)`` as
+the initial lower bound on the diameter. Both BFS calls also produce
+real eccentricities, so ``u`` and ``w`` are removed from consideration
+as a side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.state import FDiamState
+from repro.core.stats import Reason
+from repro.errors import AlgorithmError
+
+__all__ = ["TwoSweepResult", "two_sweep"]
+
+
+@dataclass(frozen=True)
+class TwoSweepResult:
+    """Outcome of the 2-sweep initialization."""
+
+    start: int  # the vertex u the sweep started from
+    start_ecc: int  # ecc(u)
+    far_vertex: int  # w, a vertex maximally far from u
+    bound: int  # ecc(w) — the initial diameter lower bound
+    visited_from_start: int  # vertices reached from u (connectivity probe)
+
+
+def two_sweep(state: FDiamState, start: int) -> TwoSweepResult:
+    """Run the 2-sweep from ``start`` and record both eccentricities.
+
+    Also counts the two eccentricity BFS calls (they are part of the
+    paper's Table 3 traversal count) and removes ``start`` and the far
+    vertex from consideration by recording their true eccentricities.
+    """
+    graph = state.graph
+    if graph.num_vertices == 0:
+        raise AlgorithmError("two_sweep on an empty graph")
+
+    first = state.ecc_bfs(start)
+    state.remove(start, first.eccentricity, Reason.COMPUTED)
+
+    # "we pick a vertex v from the last iteration of the BFS" — the
+    # pseudocode takes wl1[0], the first entry of the final worklist.
+    far = int(first.last_frontier[0]) if len(first.last_frontier) else start
+    if far == start:
+        # Isolated start vertex: its component is {start}, bound is 0.
+        return TwoSweepResult(
+            start=start,
+            start_ecc=first.eccentricity,
+            far_vertex=start,
+            bound=first.eccentricity,
+            visited_from_start=first.visited_count,
+        )
+
+    second = state.ecc_bfs(far)
+    state.remove(far, second.eccentricity, Reason.COMPUTED)
+
+    return TwoSweepResult(
+        start=start,
+        start_ecc=first.eccentricity,
+        far_vertex=far,
+        bound=second.eccentricity,
+        visited_from_start=first.visited_count,
+    )

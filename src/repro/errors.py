@@ -1,0 +1,57 @@
+"""Exception hierarchy for the F-Diam reproduction package.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish construction problems
+(:class:`GraphFormatError`, :class:`GraphValidationError`) from usage
+problems (:class:`AlgorithmError`) and resource problems
+(:class:`BenchmarkTimeout`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphFormatError(ReproError):
+    """An on-disk graph representation could not be parsed.
+
+    Raised by the readers in :mod:`repro.graph.io` when a file does not
+    conform to the expected format (bad header, non-integer vertex id,
+    truncated record, ...). The message always includes the offending
+    line number when one is available.
+    """
+
+
+class GraphValidationError(ReproError):
+    """A :class:`~repro.graph.CSRGraph` invariant does not hold.
+
+    Raised by :func:`repro.graph.validate.validate_csr` when row pointers
+    are not monotone, column indices are out of range, the adjacency
+    structure is not symmetric, or rows are not sorted/deduplicated.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was invoked with arguments it cannot handle.
+
+    Examples: asking for the eccentricity of a vertex that is not in the
+    graph, running the 2-sweep on an empty graph, or configuring
+    mutually-exclusive ablation switches.
+    """
+
+
+class BenchmarkTimeout(ReproError):
+    """A benchmark run exceeded its configured time budget.
+
+    Mirrors the paper's 2.5-hour per-input timeout: harness runners
+    convert this exception into a ``T/O`` table entry rather than failing
+    the whole experiment.
+    """
+
+    def __init__(self, message: str, elapsed: float | None = None):
+        super().__init__(message)
+        #: Seconds spent before the run was abandoned (``None`` if unknown).
+        self.elapsed = elapsed

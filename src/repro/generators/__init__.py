@@ -1,0 +1,73 @@
+"""Synthetic graph generators.
+
+Primitives with closed-form diameters (for tests), topology-class
+generators matching the paper's evaluation inputs, perturbation
+utilities, and the registry of the 17 paper-input analogs.
+"""
+
+from repro.generators.chains import add_tendrils, attach_chains, broom, lollipop
+from repro.generators.citation import citation_graph
+from repro.generators.delaunay import delaunay_graph
+from repro.generators.geometric import random_geometric
+from repro.generators.grid import grid_2d, grid_3d
+from repro.generators.kronecker import kronecker
+from repro.generators.perturb import (
+    add_isolated_vertices,
+    add_random_edges,
+    disjoint_union,
+    drop_random_edges,
+    permute_vertices,
+)
+from repro.generators.powerlaw import barabasi_albert, copying_model
+from repro.generators.primitives import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.generators.registry import (
+    PAPER_ANALOGS,
+    AnalogSpec,
+    build_analog,
+    clear_cache,
+)
+from repro.generators.rmat import rmat
+from repro.generators.road import road_network
+from repro.generators.smallworld import watts_strogatz
+
+__all__ = [
+    "AnalogSpec",
+    "PAPER_ANALOGS",
+    "add_isolated_vertices",
+    "add_random_edges",
+    "add_tendrils",
+    "attach_chains",
+    "balanced_tree",
+    "barbell",
+    "barabasi_albert",
+    "broom",
+    "build_analog",
+    "caterpillar",
+    "citation_graph",
+    "clear_cache",
+    "complete_graph",
+    "copying_model",
+    "cycle_graph",
+    "delaunay_graph",
+    "disjoint_union",
+    "drop_random_edges",
+    "grid_2d",
+    "grid_3d",
+    "kronecker",
+    "lollipop",
+    "path_graph",
+    "permute_vertices",
+    "random_geometric",
+    "rmat",
+    "road_network",
+    "star_graph",
+    "watts_strogatz",
+]

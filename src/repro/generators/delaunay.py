@@ -1,0 +1,39 @@
+"""Delaunay-triangulation graphs.
+
+Analog of the paper's *delaunay_n24* input (SuiteSparse's Delaunay
+triangulations of random points in the unit square). These are planar,
+near-regular (average degree ~6, max degree ~26), and have large
+diameters (~1,700 at n=16.7M) — the input where F-Diam needs the most
+BFS calls (3,151) and every baseline times out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.build import from_edge_arrays
+from repro.graph.csr import CSRGraph
+
+__all__ = ["delaunay_graph"]
+
+
+def delaunay_graph(
+    num_points: int, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Delaunay triangulation of ``num_points`` uniform random 2-D points.
+
+    The triangulation's simplices are converted to edges (each triangle
+    contributes its three sides; duplicates are merged by the builder).
+    """
+    if num_points < 3:
+        raise AlgorithmError("delaunay_graph requires at least 3 points")
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((num_points, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices.astype(np.int64)
+    src = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    dst = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    return from_edge_arrays(src, dst, num_points, name or f"delaunay-{num_points}")

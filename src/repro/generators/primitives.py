@@ -1,0 +1,114 @@
+"""Elementary graph constructions with known diameters.
+
+These are the ground-truth fixtures of the test suite: each generator
+documents the exact diameter of its output, so correctness tests can
+assert against closed-form values instead of an oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.build import empty_graph, from_edge_arrays
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "balanced_tree",
+    "caterpillar",
+    "barbell",
+]
+
+
+def path_graph(n: int, name: str | None = None) -> CSRGraph:
+    """Path on ``n`` vertices. Diameter ``n - 1``."""
+    if n <= 0:
+        raise AlgorithmError("path_graph requires n >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    return from_edge_arrays(src, src + 1, n, name or f"path-{n}")
+
+
+def cycle_graph(n: int, name: str | None = None) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices. Diameter ``⌊n/2⌋``."""
+    if n < 3:
+        raise AlgorithmError("cycle_graph requires n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    return from_edge_arrays(src, (src + 1) % n, n, name or f"cycle-{n}")
+
+
+def star_graph(n: int, name: str | None = None) -> CSRGraph:
+    """Star: centre 0 joined to ``n - 1`` leaves. Diameter 2 (1 if n=2)."""
+    if n <= 0:
+        raise AlgorithmError("star_graph requires n >= 1")
+    if n == 1:
+        return empty_graph(1, name or "star-1")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return from_edge_arrays(
+        np.zeros(n - 1, dtype=np.int64), leaves, n, name or f"star-{n}"
+    )
+
+
+def complete_graph(n: int, name: str | None = None) -> CSRGraph:
+    """Complete graph. Diameter 1 (0 if n=1)."""
+    if n <= 0:
+        raise AlgorithmError("complete_graph requires n >= 1")
+    src, dst = np.triu_indices(n, k=1)
+    return from_edge_arrays(
+        src.astype(np.int64), dst.astype(np.int64), n, name or f"complete-{n}"
+    )
+
+
+def balanced_tree(branching: int, height: int, name: str | None = None) -> CSRGraph:
+    """Complete ``branching``-ary tree of the given height.
+
+    Diameter ``2 * height`` (leaf to leaf through the root).
+    """
+    if branching < 1 or height < 0:
+        raise AlgorithmError("balanced_tree requires branching >= 1, height >= 0")
+    # Vertex ids in BFS order; the parent of child c is (c - 1) // branching.
+    n = (branching ** (height + 1) - 1) // (branching - 1) if branching > 1 else height + 1
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // branching
+    return from_edge_arrays(parents, children, n, name or f"tree-{branching}-{height}")
+
+
+def caterpillar(spine: int, legs_per_vertex: int, name: str | None = None) -> CSRGraph:
+    """Path of ``spine`` vertices, each with ``legs_per_vertex`` pendant legs.
+
+    Diameter ``spine + 1`` for ``legs_per_vertex >= 1`` and ``spine >= 2``
+    (leg–spine–...–spine–leg). A dense source of degree-1 vertices for
+    Chain Processing tests.
+    """
+    if spine < 1 or legs_per_vertex < 0:
+        raise AlgorithmError("caterpillar requires spine >= 1, legs >= 0")
+    spine_src = np.arange(spine - 1, dtype=np.int64)
+    leg_owners = np.repeat(np.arange(spine, dtype=np.int64), legs_per_vertex)
+    n_legs = spine * legs_per_vertex
+    leg_ids = spine + np.arange(n_legs, dtype=np.int64)
+    src = np.concatenate([spine_src, leg_owners])
+    dst = np.concatenate([spine_src + 1, leg_ids])
+    return from_edge_arrays(
+        src, dst, spine + n_legs, name or f"caterpillar-{spine}x{legs_per_vertex}"
+    )
+
+
+def barbell(clique: int, bridge: int, name: str | None = None) -> CSRGraph:
+    """Two ``clique``-cliques joined by a ``bridge``-edge path.
+
+    Diameter ``bridge + 2`` for ``clique >= 2`` — a worst case for
+    centrally-seeded pruning because the periphery is dense.
+    """
+    if clique < 1 or bridge < 1:
+        raise AlgorithmError("barbell requires clique >= 1, bridge >= 1")
+    a_src, a_dst = np.triu_indices(clique, k=1)
+    b_src, b_dst = a_src + clique + bridge - 1, a_dst + clique + bridge - 1
+    # Path: vertex clique-1 (in clique A) .. clique+bridge-1 (first of B).
+    p = np.arange(clique - 1, clique + bridge - 1, dtype=np.int64)
+    n = 2 * clique + bridge - 1
+    src = np.concatenate([a_src.astype(np.int64), b_src.astype(np.int64), p])
+    dst = np.concatenate([a_dst.astype(np.int64), b_dst.astype(np.int64), p + 1])
+    return from_edge_arrays(src, dst, n, name or f"barbell-{clique}-{bridge}")

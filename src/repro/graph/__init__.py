@@ -1,0 +1,89 @@
+"""Graph substrate: CSR representation, builders, I/O, components.
+
+This subpackage is the foundation every algorithm in the reproduction
+runs on. See :class:`CSRGraph` for the data structure and
+:mod:`repro.graph.build` for the canonicalizing constructors.
+"""
+
+from repro.graph.build import (
+    empty_graph,
+    from_adjacency,
+    from_edge_arrays,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+)
+from repro.graph.components import (
+    ConnectedComponents,
+    connected_components,
+    largest_component_mask,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.degrees import (
+    DegreeSummary,
+    degree_histogram,
+    degree_one_vertices,
+    degree_summary,
+    degree_two_vertices,
+    vertices_with_degree,
+)
+from repro.graph.kcore import (
+    CoreDecomposition,
+    core_numbers,
+    degeneracy,
+    k_core_mask,
+)
+from repro.graph.io import (
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    read_graph,
+    read_matrix_market,
+    read_metis,
+    save_npz,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+from repro.graph.subgraph import Subgraph, component_subgraph, induced_subgraph
+from repro.graph.validate import is_symmetric, validate_csr
+
+__all__ = [
+    "CSRGraph",
+    "ConnectedComponents",
+    "CoreDecomposition",
+    "DegreeSummary",
+    "Subgraph",
+    "component_subgraph",
+    "connected_components",
+    "core_numbers",
+    "degeneracy",
+    "degree_histogram",
+    "degree_one_vertices",
+    "degree_summary",
+    "degree_two_vertices",
+    "empty_graph",
+    "from_adjacency",
+    "from_edge_arrays",
+    "from_edges",
+    "from_networkx",
+    "from_scipy_sparse",
+    "induced_subgraph",
+    "is_symmetric",
+    "k_core_mask",
+    "largest_component_mask",
+    "load_npz",
+    "read_dimacs",
+    "read_edge_list",
+    "read_graph",
+    "read_matrix_market",
+    "read_metis",
+    "save_npz",
+    "validate_csr",
+    "vertices_with_degree",
+    "write_dimacs",
+    "write_edge_list",
+    "write_matrix_market",
+    "write_metis",
+]

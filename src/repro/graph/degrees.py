@@ -1,0 +1,82 @@
+"""Degree-based utilities shared by the algorithms and the harness.
+
+F-Diam leans on degree structure in several places: the max-degree
+vertex seeds the 2-sweep and Winnow, degree-1 vertices seed Chain
+Processing, and degree-0 vertices are reported as their own removal
+category (paper Table 4). The harness additionally reports average and
+maximum degree for the input table (paper Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "degree_histogram",
+    "degree_one_vertices",
+    "degree_two_vertices",
+    "vertices_with_degree",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Aggregate degree statistics of a graph (paper Table 1 columns)."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    max_degree_vertex: int
+    num_isolated: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary form used by the harness table renderers."""
+        return {
+            "vertices": self.num_vertices,
+            "edges": 2 * self.num_edges,  # paper counts both directions
+            "avg degree": round(self.average_degree, 1),
+            "max degree": self.max_degree,
+        }
+
+
+def degree_summary(graph: CSRGraph) -> DegreeSummary:
+    """Compute the Table-1-style degree summary of ``graph``."""
+    degs = graph.degrees
+    n = graph.num_vertices
+    return DegreeSummary(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree(),
+        max_degree=int(degs.max()) if n else 0,
+        max_degree_vertex=int(np.argmax(degs)) if n else -1,
+        num_isolated=int(np.count_nonzero(degs == 0)),
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Histogram ``h`` where ``h[d]`` counts vertices of degree ``d``."""
+    if graph.num_vertices == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(graph.degrees)
+
+
+def vertices_with_degree(graph: CSRGraph, degree: int) -> np.ndarray:
+    """Sorted ids of all vertices with exactly the given degree."""
+    return np.flatnonzero(graph.degrees == degree)
+
+
+def degree_one_vertices(graph: CSRGraph) -> np.ndarray:
+    """Degree-1 vertices — the starting points of Chain Processing."""
+    return vertices_with_degree(graph, 1)
+
+
+def degree_two_vertices(graph: CSRGraph) -> np.ndarray:
+    """Degree-2 vertices — the interior links of chains."""
+    return vertices_with_degree(graph, 2)

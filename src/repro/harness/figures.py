@@ -1,0 +1,120 @@
+"""Plain-text figure rendering.
+
+The paper's figures are log-scale bar charts (Figures 6, 9), a scaling
+line (Figure 7), and a stacked runtime-share bar (Figure 8). Since this
+environment has no plotting stack, each is rendered as aligned ASCII:
+log-scale bars become proportional bar rows with the numeric value
+printed, the scaling line a two-column series, and the stacked bar a
+percentage breakdown per input. The *data* behind each figure is also
+returned in structured form so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["log_bar_chart", "line_series", "stacked_percent_bars"]
+
+_BAR_WIDTH = 40
+
+
+def _log_bar(value: float, lo: float, hi: float, width: int = _BAR_WIDTH) -> str:
+    """A bar whose length is proportional to log10(value) in [lo, hi]."""
+    if value <= 0:
+        return ""
+    span = math.log10(hi) - math.log10(lo) if hi > lo else 1.0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return "#" * max(1, round(frac * width))
+
+
+def log_bar_chart(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    value_label: str = "throughput (vertices/s)",
+) -> str:
+    """Grouped log-scale bar chart.
+
+    ``series[group][bar_name] = value``; zero/absent values render as
+    ``T/O`` rows with no bar (the paper's "missing bars denote
+    timeouts").
+    """
+    positives = [
+        v for bars in series.values() for v in bars.values() if v and v > 0
+    ]
+    lo = min(positives) if positives else 1.0
+    hi = max(positives) if positives else 10.0
+    name_w = max(
+        (len(b) for bars in series.values() for b in bars), default=4
+    )
+    lines = [title, "=" * len(title), f"(log scale, {value_label})"]
+    for group, bars in series.items():
+        lines.append("")
+        lines.append(f"{group}:")
+        for bar_name, value in bars.items():
+            if value and value > 0:
+                bar = _log_bar(value, lo, hi)
+                lines.append(f"  {bar_name.ljust(name_w)} |{bar} {value:,.0f}")
+            else:
+                lines.append(f"  {bar_name.ljust(name_w)} |T/O")
+    return "\n".join(lines)
+
+
+def line_series(
+    title: str,
+    points: Sequence[tuple[float, float]],
+    *,
+    x_label: str = "threads",
+    y_label: str = "throughput",
+) -> str:
+    """Two-column series with proportional log-scale bars (Figure 7)."""
+    positives = [y for _, y in points if y > 0]
+    lo, hi = (min(positives), max(positives)) if positives else (1.0, 10.0)
+    lines = [title, "=" * len(title), f"{x_label:>8}  {y_label}"]
+    for x, y in points:
+        bar = _log_bar(y, lo, hi) if y > 0 else ""
+        lines.append(f"{x:>8g}  |{bar} {y:,.0f}")
+    return "\n".join(lines)
+
+
+def stacked_percent_bars(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 50,
+) -> str:
+    """Stacked percentage bars (Figure 8's per-stage runtime shares).
+
+    ``rows[input][stage] = fraction``; each row renders one character
+    block per 2 % with a legend of single-letter stage codes.
+    """
+    stages = []
+    for parts in rows.values():
+        for s in parts:
+            if s not in stages:
+                stages.append(s)
+    codes = {}
+    used = set()
+    for s in stages:
+        c = next((ch for ch in s if ch.upper() not in used), "?")
+        codes[s] = c.upper()
+        used.add(c.upper())
+    name_w = max((len(n) for n in rows), default=4)
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "legend: " + ", ".join(f"{codes[s]}={s}" for s in stages)
+    )
+    for name, parts in rows.items():
+        total = sum(parts.values())
+        bar = ""
+        shares: list[str] = []
+        for s in stages:
+            frac = parts.get(s, 0.0) / total if total > 0 else 0.0
+            bar += codes[s] * round(frac * width)
+            if frac > 0.005:
+                shares.append(f"{codes[s]}:{100 * frac:.0f}%")
+        lines.append(
+            f"{name.ljust(name_w)} |{bar[:width].ljust(width)}| {'  '.join(shares)}"
+        )
+    return "\n".join(lines)

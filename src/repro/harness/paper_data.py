@@ -1,0 +1,159 @@
+"""The paper's published evaluation numbers, as data.
+
+Transcribed verbatim from the paper (Bradley et al., ICPP 2025) so the
+harness can print paper-vs-measured comparisons programmatically and
+EXPERIMENTS.md's claims stay checkable:
+
+* :data:`PAPER_TABLE1` — input sizes and CC diameters.
+* :data:`PAPER_TABLE2` — runtimes in seconds (``None`` = timeout at the
+  paper's 2.5 h cap).
+* :data:`PAPER_TABLE3` — BFS-traversal counts.
+* :data:`PAPER_TABLE4` — removal percentages per stage.
+* :data:`PAPER_TABLE5` — BFS counts of the ablated versions.
+* :data:`PAPER_HEADLINES` — the §6.1/§6.2 aggregate claims.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_HEADLINES",
+    "compare_direction",
+]
+
+#: name -> (vertices, edges-with-back-edges, avg degree, max degree, CC diameter)
+PAPER_TABLE1: dict[str, tuple[int, int, float, int, int]] = {
+    "2d-2e20.sym": (1_048_576, 4_190_208, 4.0, 4, 2_046),
+    "amazon0601": (403_394, 4_886_816, 12.1, 2_752, 25),
+    "as-skitter": (1_696_415, 22_190_596, 13.1, 35_455, 31),
+    "citationCiteSeer": (268_495, 2_313_294, 8.6, 1_318, 36),
+    "cit-Patents": (3_774_768, 33_037_894, 8.8, 793, 26),
+    "coPapersDBLP": (540_486, 30_491_458, 56.4, 3_299, 23),
+    "delaunay_n24": (16_777_216, 100_663_202, 6.0, 26, 1_722),
+    "europe_osm": (50_912_018, 108_109_320, 2.1, 13, 30_102),
+    "in-2004": (1_382_908, 27_182_946, 19.7, 21_869, 43),
+    "internet": (124_651, 387_240, 3.1, 151, 30),
+    "kron_g500-logn21": (2_097_152, 182_081_864, 86.8, 213_904, 7),
+    "rmat16.sym": (65_536, 967_866, 14.8, 569, 14),
+    "rmat22.sym": (4_194_304, 65_660_814, 15.7, 3_687, 18),
+    "soc-LiveJournal1": (4_847_571, 85_702_474, 17.7, 20_333, 20),
+    "uk-2002": (18_520_486, 523_574_516, 28.3, 194_955, 45),
+    "USA-road-d.NY": (264_346, 730_100, 2.8, 8, 720),
+    "USA-road-d.USA": (23_947_347, 57_708_624, 2.4, 9, 8_440),
+}
+
+#: name -> {code: seconds | None (timeout)}
+PAPER_TABLE2: dict[str, dict[str, float | None]] = {
+    "2d-2e20.sym": {"F-Diam (ser)": 0.885, "F-Diam (par)": 0.138, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 3.285},
+    "amazon0601": {"F-Diam (ser)": 0.169, "F-Diam (par)": 0.019, "iFUB (ser)": 259.004, "iFUB (par)": 94.916, "Graph-Diam.": 3.983},
+    "as-skitter": {"F-Diam (ser)": 0.296, "F-Diam (par)": 0.051, "iFUB (ser)": 451.391, "iFUB (par)": 402.688, "Graph-Diam.": 5.959},
+    "citationCiteSeer": {"F-Diam (ser)": 0.192, "F-Diam (par)": 0.026, "iFUB (ser)": 187.226, "iFUB (par)": 71.575, "Graph-Diam.": 2.098},
+    "cit-Patents": {"F-Diam (ser)": 3.520, "F-Diam (par)": 0.209, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 705.259},
+    "coPapersDBLP": {"F-Diam (ser)": 0.417, "F-Diam (par)": 0.028, "iFUB (ser)": 761.575, "iFUB (par)": 203.028, "Graph-Diam.": 3.426},
+    "delaunay_n24": {"F-Diam (ser)": 2017.863, "F-Diam (par)": 116.999, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": None},
+    "europe_osm": {"F-Diam (ser)": 52.169, "F-Diam (par)": 5.095, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 219.913},
+    "in-2004": {"F-Diam (ser)": 1.018, "F-Diam (par)": 0.204, "iFUB (ser)": 728.197, "iFUB (par)": 336.903, "Graph-Diam.": 5.098},
+    "internet": {"F-Diam (ser)": 0.011, "F-Diam (par)": 0.003, "iFUB (ser)": 46.813, "iFUB (par)": 26.922, "Graph-Diam.": 0.192},
+    "kron_g500-logn21": {"F-Diam (ser)": 8.394, "F-Diam (par)": 1.175, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 210.495},
+    "rmat16.sym": {"F-Diam (ser)": 0.009, "F-Diam (par)": 0.003, "iFUB (ser)": 14.985, "iFUB (par)": 12.893, "Graph-Diam.": 0.176},
+    "rmat22.sym": {"F-Diam (ser)": 2.740, "F-Diam (par)": 0.132, "iFUB (ser)": 1772.274, "iFUB (par)": 1226.946, "Graph-Diam.": 58.329},
+    "soc-LiveJournal1": {"F-Diam (ser)": 3.610, "F-Diam (par)": 0.262, "iFUB (ser)": 2024.930, "iFUB (par)": 1541.236, "Graph-Diam.": 448.948},
+    "uk-2002": {"F-Diam (ser)": 19.369, "F-Diam (par)": 1.690, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 123.839},
+    "USA-road-d.NY": {"F-Diam (ser)": 0.077, "F-Diam (par)": 0.053, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 0.650},
+    "USA-road-d.USA": {"F-Diam (ser)": 18.548, "F-Diam (par)": 2.914, "iFUB (ser)": None, "iFUB (par)": None, "Graph-Diam.": 90.976},
+}
+
+#: name -> {code: BFS traversals | None (timeout)}
+PAPER_TABLE3: dict[str, dict[str, int | None]] = {
+    "2d-2e20.sym": {"F-Diam": 10, "iFUB": None, "Graph-Diameter": 6},
+    "amazon0601": {"F-Diam": 15, "iFUB": 19, "Graph-Diameter": 35},
+    "as-skitter": {"F-Diam": 44, "iFUB": 7, "Graph-Diameter": 767},
+    "citationCiteSeer": {"F-Diam": 12, "iFUB": 22, "Graph-Diameter": 27},
+    "cit-Patents": {"F-Diam": 788, "iFUB": None, "Graph-Diameter": 4154},
+    "coPapersDBLP": {"F-Diam": 11, "iFUB": 38, "Graph-Diameter": 10},
+    "delaunay_n24": {"F-Diam": 3151, "iFUB": None, "Graph-Diameter": None},
+    "europe_osm": {"F-Diam": 22, "iFUB": None, "Graph-Diameter": 29},
+    "in-2004": {"F-Diam": 102, "iFUB": 15, "Graph-Diameter": 122},
+    "internet": {"F-Diam": 3, "iFUB": 14, "Graph-Diameter": 14},
+    "kron_g500-logn21": {"F-Diam": 37, "iFUB": None, "Graph-Diameter": 264},
+    "rmat16.sym": {"F-Diam": 3, "iFUB": 7, "Graph-Diameter": 158},
+    "rmat22.sym": {"F-Diam": 67, "iFUB": 11, "Graph-Diameter": 19285},
+    "soc-LiveJournal1": {"F-Diam": 198, "iFUB": 10, "Graph-Diameter": 1172},
+    "uk-2002": {"F-Diam": 481, "iFUB": None, "Graph-Diameter": 1090},
+    "USA-road-d.NY": {"F-Diam": 17, "iFUB": None, "Graph-Diameter": 26},
+    "USA-road-d.USA": {"F-Diam": 26, "iFUB": None, "Graph-Diameter": 31},
+}
+
+#: name -> {stage: percentage of vertices removed}
+PAPER_TABLE4: dict[str, dict[str, float]] = {
+    "2d-2e20.sym": {"winnow": 75.74, "eliminate": 24.25, "chain": 0.00, "degree0": 0.00},
+    "amazon0601": {"winnow": 99.98, "eliminate": 0.01, "chain": 0.00, "degree0": 0.00},
+    "as-skitter": {"winnow": 99.89, "eliminate": 0.00, "chain": 0.04, "degree0": 0.00},
+    "citationCiteSeer": {"winnow": 99.99, "eliminate": 0.00, "chain": 0.00, "degree0": 0.00},
+    "cit-Patents": {"winnow": 99.72, "eliminate": 0.00, "chain": 0.15, "degree0": 0.00},
+    "coPapersDBLP": {"winnow": 99.99, "eliminate": 0.00, "chain": 0.00, "degree0": 0.00},
+    "delaunay_n24": {"winnow": 82.46, "eliminate": 17.53, "chain": 0.00, "degree0": 0.00},
+    "europe_osm": {"winnow": 97.23, "eliminate": 0.85, "chain": 1.50, "degree0": 0.00},
+    "in-2004": {"winnow": 97.89, "eliminate": 1.27, "chain": 0.83, "degree0": 0.00},
+    "internet": {"winnow": 99.99, "eliminate": 0.00, "chain": 0.00, "degree0": 0.00},
+    "kron_g500-logn21": {"winnow": 73.62, "eliminate": 0.00, "chain": 0.00, "degree0": 26.37},
+    "rmat16.sym": {"winnow": 93.81, "eliminate": 0.00, "chain": 0.22, "degree0": 5.72},
+    "rmat22.sym": {"winnow": 89.27, "eliminate": 0.00, "chain": 0.46, "degree0": 9.76},
+    "soc-LiveJournal1": {"winnow": 99.92, "eliminate": 0.00, "chain": 0.02, "degree0": 0.01},
+    "uk-2002": {"winnow": 99.67, "eliminate": 0.06, "chain": 0.05, "degree0": 0.20},
+    "USA-road-d.NY": {"winnow": 98.79, "eliminate": 0.52, "chain": 0.67, "degree0": 0.00},
+    "USA-road-d.USA": {"winnow": 71.11, "eliminate": 14.03, "chain": 14.23, "degree0": 0.00},
+}
+
+#: name -> {variant: BFS calls | None (timeout)}
+PAPER_TABLE5: dict[str, dict[str, int | None]] = {
+    "2d-2e20.sym": {"F-Diam": 10, "no Winnow": 12, "no Elim.": None, "no 'u'": 10},
+    "amazon0601": {"F-Diam": 15, "no Winnow": 605, "no Elim.": 71, "no 'u'": 30},
+    "as-skitter": {"F-Diam": 44, "no Winnow": 1382, "no Elim.": 92, "no 'u'": 44},
+    "citationCiteSeer": {"F-Diam": 12, "no Winnow": 432, "no Elim.": 12, "no 'u'": 24},
+    "cit-Patents": {"F-Diam": 788, "no Winnow": 11234, "no Elim.": 984, "no 'u'": 2597},
+    "coPapersDBLP": {"F-Diam": 11, "no Winnow": 491, "no Elim.": 13, "no 'u'": 44},
+    "delaunay_n24": {"F-Diam": 3151, "no Winnow": 6351, "no Elim.": None, "no 'u'": 4700},
+    "europe_osm": {"F-Diam": 22, "no Winnow": 37, "no Elim.": None, "no 'u'": 17},
+    "in-2004": {"F-Diam": 102, "no Winnow": 161, "no Elim.": 17722, "no 'u'": 105},
+    "internet": {"F-Diam": 3, "no Winnow": 3021, "no Elim.": 3, "no 'u'": 1088},
+    "kron_g500-logn21": {"F-Diam": 37, "no Winnow": 28372, "no Elim.": 37, "no 'u'": 25348},
+    "rmat16.sym": {"F-Diam": 3, "no Winnow": 2095, "no Elim.": 3, "no 'u'": 151},
+    "rmat22.sym": {"F-Diam": 67, "no Winnow": 57374, "no Elim.": 68, "no 'u'": 277},
+    "soc-LiveJournal1": {"F-Diam": 198, "no Winnow": 12465, "no Elim.": 633, "no 'u'": 203},
+    "uk-2002": {"F-Diam": 481, "no Winnow": 962, "no Elim.": 12914, "no 'u'": 764},
+    "USA-road-d.NY": {"F-Diam": 17, "no Winnow": 26, "no Elim.": 1407, "no 'u'": 91},
+    "USA-road-d.USA": {"F-Diam": 26, "no Winnow": 47, "no Elim.": None, "no 'u'": 105},
+}
+
+#: The paper's aggregate claims (§6.1, §6.2, §6.5).
+PAPER_HEADLINES: dict[str, float] = {
+    "fdiam_ser_vs_ifub_ser_geomean": 1267.0,
+    "fdiam_ser_vs_ifub_par_geomean": 686.4,
+    "fdiam_ser_vs_graphdiam_geomean": 14.6,
+    "fdiam_par_vs_ifub_ser_geomean": 9518.8,
+    "fdiam_par_vs_ifub_par_geomean": 5158.7,
+    "fdiam_par_vs_graphdiam_geomean": 106.7,
+    "par_over_ser_geomean": 7.67,
+    "par_over_ser_min": 1.45,
+    "par_over_ser_max": 20.74,
+    "no_winnow_relative_speed": 0.02,
+    "no_u_relative_speed": 0.17,
+    "no_eliminate_relative_speed": 0.22,
+}
+
+
+def compare_direction(paper_value: float | None, measured: float | None) -> str:
+    """Classify a paper-vs-measured pair: both timeout, both finite, or
+    a divergence. Used by the comparison tables in the benchmarks."""
+    if paper_value is None and measured is None:
+        return "both T/O"
+    if paper_value is None:
+        return "paper T/O, we finish"
+    if measured is None:
+        return "we T/O, paper finishes"
+    return "both finish"

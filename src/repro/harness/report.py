@@ -1,0 +1,115 @@
+"""One-shot evaluation report generator.
+
+Runs the complete reproduced evaluation — every table and figure of the
+paper plus the design-choice summaries — and writes a single markdown
+report. This is how ``EXPERIMENTS.md``'s measured numbers are produced:
+
+    python -m repro.harness.report [output.md]
+
+Environment knobs are shared with the pytest benchmarks
+(``REPRO_BENCH_INPUTS``, ``REPRO_BENCH_TIMEOUT``, ``REPRO_BENCH_REPEATS``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro._version import PAPER, __version__
+from repro.harness.experiments import (
+    SuiteConfig,
+    fig6_throughput,
+    fig7_scaling,
+    fig8_runtime_breakdown,
+    fig9_ablation_throughput,
+    run_all_codes,
+    table1_inputs,
+    table2_runtimes,
+    table3_bfs_counts,
+    table4_stage_effectiveness,
+    table5_ablation_bfs,
+)
+from repro.harness.throughput import penalized_geomean_throughput
+from repro.harness.workloads import ALL_INPUTS, FAST_INPUTS
+
+__all__ = ["generate_report", "main"]
+
+
+def generate_report(config: SuiteConfig | None = None, *, echo: bool = True) -> str:
+    """Run every experiment and return the full markdown report."""
+    config = config or SuiteConfig()
+    sections: list[str] = [
+        "# F-Diam reproduction — full evaluation report",
+        "",
+        f"Reproduces: {PAPER}",
+        f"Package version: {__version__}",
+        f"Inputs: {len(config.inputs)} analogs; timeout {config.timeout_s:g}s; "
+        f"{config.repeats} repetitions (median).",
+        "",
+    ]
+
+    def add(title: str, text: str) -> None:
+        sections.append(f"## {title}\n\n```\n{text}\n```\n")
+        if echo:
+            print(f"[report] finished: {title}", file=sys.stderr)
+
+    t_start = time.perf_counter()
+    add("Table 1 — input graphs", table1_inputs(config).text)
+
+    runs = run_all_codes(config)
+    add("Table 2 — runtimes", table2_runtimes(runs, config).text)
+    add("Figure 6 — throughput", fig6_throughput(runs).text)
+
+    penalized = {
+        name: penalized_geomean_throughput(r, config.timeout_s)
+        for name, r in runs.items()
+    }
+    ranking = "\n".join(
+        f"  {name:14s} {value:>12,.0f} vertices/s"
+        for name, value in sorted(penalized.items(), key=lambda kv: -kv[1])
+    )
+    add(
+        "Overall ranking — timeout-penalized geomean throughput",
+        f"(timeouts charged their full {config.timeout_s:g}s budget)\n" + ranking,
+    )
+
+    add("Table 3 — BFS traversals", table3_bfs_counts(runs).text)
+    add("Table 4 — stage effectiveness", table4_stage_effectiveness(config).text)
+    add("Figure 8 — runtime breakdown", fig8_runtime_breakdown(config).text)
+    add("Figure 7 — modeled thread scaling", fig7_scaling(config).text)
+    add("Table 5 — ablation BFS counts", table5_ablation_bfs(config).text)
+    add("Figure 9 — ablation throughput", fig9_ablation_throughput(config).text)
+
+    sections.append(
+        f"_Total report generation time: "
+        f"{time.perf_counter() - t_start:,.0f}s._\n"
+    )
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: write the report to the given path (or stdout)."""
+    argv = sys.argv[1:] if argv is None else argv
+    inputs = (
+        FAST_INPUTS
+        if os.environ.get("REPRO_BENCH_INPUTS", "all") == "fast"
+        else ALL_INPUTS
+    )
+    config = SuiteConfig(
+        inputs=inputs,
+        repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+        timeout_s=float(os.environ.get("REPRO_BENCH_TIMEOUT", "90")),
+    )
+    report = generate_report(config)
+    if argv:
+        with open(argv[0], "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"report written to {argv[0]}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment reports.
+
+Every reproduced table (paper Tables 1–5) is emitted through this one
+renderer so the benchmark output reads uniformly. Values are formatted
+by type: floats get three significant decimals, percentages two, the
+``inf`` sentinel becomes ``T/O`` (the paper's timeout marker).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(value: object) -> str:
+    """Human formatting of one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "T/O"
+        if 0 < abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:,.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: list[str],
+    rows: Iterable[Mapping[str, object]],
+    *,
+    min_width: int = 4,
+) -> str:
+    """Render rows of dicts as an aligned monospace table.
+
+    Missing keys render as ``-``. The first column is left-aligned
+    (input names), the rest right-aligned (numbers).
+    """
+    body = [[format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(min_width, len(col), *(len(r[i]) for r in body)) if body else max(min_width, len(col))
+        for i, col in enumerate(columns)
+    ]
+
+    def fmt_line(cells: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = [title, "=" * len(title), fmt_line(columns), sep]
+    lines.extend(fmt_line(r) for r in body)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Throughput aggregation with the paper's comparison rules.
+
+The paper's speedup statements (§6.1, footnote 2) follow one rule:
+"All speedups are computed based on the geometric-mean throughput over
+only the inputs on which neither code being compared times out."
+This module implements exactly that, plus the worst/best per-input
+ratios quoted in the same section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.runner import TimedRun
+
+__all__ = [
+    "geomean_throughput",
+    "penalized_geomean_throughput",
+    "pairwise_speedup",
+    "speedup_range",
+]
+
+
+def _common_inputs(a: list[TimedRun], b: list[TimedRun]) -> list[tuple[TimedRun, TimedRun]]:
+    """Pairs of runs on inputs where neither code timed out."""
+    b_by_name = {r.graph_name: r for r in b}
+    pairs = []
+    for ra in a:
+        rb = b_by_name.get(ra.graph_name)
+        if rb is not None and not ra.timed_out and not rb.timed_out:
+            pairs.append((ra, rb))
+    return pairs
+
+
+def geomean_throughput(runs: list[TimedRun]) -> float:
+    """Geometric-mean throughput over non-timed-out runs (0 if none)."""
+    vals = [r.throughput for r in runs if not r.timed_out and r.throughput > 0]
+    if not vals:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def penalized_geomean_throughput(runs: list[TimedRun], timeout_s: float) -> float:
+    """Geomean throughput with timeouts clamped at the budget.
+
+    The footnote-2 rule (exclude inputs where a code timed out) is the
+    right basis for *pairwise speedups* but flatters codes with many
+    timeouts in a standalone ranking. For overall rankings, a timed-out
+    run is charged its full budget — an optimistic lower bound on its
+    true runtime, hence an upper bound on its throughput — so "fast but
+    fragile" and "always finishes" codes become comparable.
+    """
+    vals = []
+    for r in runs:
+        if r.timed_out:
+            vals.append(r.num_vertices / timeout_s)
+        elif r.throughput > 0:
+            vals.append(r.throughput)
+    if not vals:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def pairwise_speedup(fast: list[TimedRun], slow: list[TimedRun]) -> float:
+    """Geomean-throughput ratio of ``fast`` over ``slow``, restricted to
+    inputs where neither timed out (paper footnote 2). 0 when no
+    common inputs exist."""
+    pairs = _common_inputs(fast, slow)
+    if not pairs:
+        return 0.0
+    ratios = [a.throughput / b.throughput for a, b in pairs if b.throughput > 0]
+    if not ratios:
+        return 0.0
+    return float(np.exp(np.mean(np.log(ratios))))
+
+
+def speedup_range(fast: list[TimedRun], slow: list[TimedRun]) -> tuple[float, float]:
+    """(worst, best) per-input speedup of ``fast`` over ``slow`` on
+    commonly-finished inputs; (0, 0) when there are none."""
+    pairs = _common_inputs(fast, slow)
+    ratios = [a.throughput / b.throughput for a, b in pairs if b.throughput > 0]
+    if not ratios:
+        return (0.0, 0.0)
+    return (min(ratios), max(ratios))

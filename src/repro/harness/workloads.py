@@ -1,0 +1,87 @@
+"""Benchmark workloads — the 17 paper-input analogs plus subsets.
+
+Thin layer over :mod:`repro.generators.registry` that the experiment
+drivers and the pytest benchmarks consume. Besides the full suite it
+defines two curated subsets:
+
+* ``FAST_INPUTS`` — analogs that every algorithm (including the slow
+  baselines) finishes quickly; used by default in CI-style runs.
+* ``SMALL_WORLD_INPUTS`` / ``HIGH_DIAMETER_INPUTS`` — the two topology
+  regimes the paper's analysis contrasts throughout §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generators.registry import PAPER_ANALOGS, AnalogSpec, build_analog
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "Workload",
+    "ALL_INPUTS",
+    "FAST_INPUTS",
+    "SMALL_WORLD_INPUTS",
+    "HIGH_DIAMETER_INPUTS",
+    "get_workload",
+    "iter_workloads",
+]
+
+#: All 17 inputs in the paper's Table 1 order.
+ALL_INPUTS: tuple[str, ...] = tuple(PAPER_ANALOGS)
+
+#: The paper's small-diameter, hub-heavy inputs (Winnow's best cases).
+SMALL_WORLD_INPUTS: tuple[str, ...] = (
+    "amazon0601",
+    "as-skitter",
+    "citationCiteSeer",
+    "cit-Patents",
+    "coPapersDBLP",
+    "in-2004",
+    "internet",
+    "kron_g500-logn21",
+    "rmat16.sym",
+    "rmat22.sym",
+    "soc-LiveJournal1",
+    "uk-2002",
+)
+
+#: The paper's high-diameter, hub-free inputs (grids, triangulations,
+#: road maps) — where Eliminate and Chain Processing matter.
+HIGH_DIAMETER_INPUTS: tuple[str, ...] = (
+    "2d-2e20.sym",
+    "delaunay_n24",
+    "europe_osm",
+    "USA-road-d.NY",
+    "USA-road-d.USA",
+)
+
+#: Inputs small/benign enough that even the naive-ish baselines finish
+#: in seconds; the default for quick benchmark passes.
+FAST_INPUTS: tuple[str, ...] = (
+    "internet",
+    "rmat16.sym",
+    "USA-road-d.NY",
+    "citationCiteSeer",
+    "amazon0601",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark input: the built analog plus its paper metadata."""
+
+    name: str
+    graph: CSRGraph
+    spec: AnalogSpec
+
+
+def get_workload(name: str) -> Workload:
+    """Build (cached) and wrap one analog."""
+    return Workload(name=name, graph=build_analog(name), spec=PAPER_ANALOGS[name])
+
+
+def iter_workloads(names: tuple[str, ...] | list[str] | None = None):
+    """Yield workloads for the given input names (default: all 17)."""
+    for name in names or ALL_INPUTS:
+        yield get_workload(name)

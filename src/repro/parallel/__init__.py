@@ -1,0 +1,34 @@
+"""Parallel-execution substrate: chunk scheduling, a simulated chunked
+executor, and the level-synchronous cost model behind the
+thread-scaling study (paper Figure 7). See DESIGN.md §2 for why thread
+scaling is modeled from measured traces rather than timed directly on
+this single-core machine.
+"""
+
+from repro.parallel.chunking import (
+    ChunkAssignment,
+    assign_round_robin,
+    chunk_bounds,
+    thread_work,
+)
+from repro.parallel.costmodel import CostModelParams, LevelSynchronousCostModel
+from repro.parallel.executor import ChunkedExecutor, StepAccounting
+from repro.parallel.scaling import (
+    PAPER_THREAD_COUNTS,
+    ScalingPoint,
+    ScalingStudy,
+)
+
+__all__ = [
+    "ChunkAssignment",
+    "ChunkedExecutor",
+    "CostModelParams",
+    "LevelSynchronousCostModel",
+    "PAPER_THREAD_COUNTS",
+    "ScalingPoint",
+    "ScalingStudy",
+    "StepAccounting",
+    "assign_round_robin",
+    "chunk_bounds",
+    "thread_work",
+]

@@ -1,0 +1,111 @@
+"""Level-synchronous parallel cost model.
+
+This machine has a single CPU core, so the paper's thread-scaling study
+(Figure 7, 1–64 threads on a 32-core Threadripper) cannot be measured
+directly. Instead we *model* it — not from thin air, but from real
+measured per-level traces of the vectorized BFS runs (frontier sizes and
+edges examined per level, collected by
+:class:`repro.bfs.instrumentation.BFSTrace`).
+
+The model captures the three effects the paper identifies as limiting
+scalability (§6.2):
+
+1. **Per-level parallelism is bounded by the frontier.** A level with
+   ``f`` frontier vertices split into chunks of size ``C`` can occupy at
+   most ``ceil(f / C)`` threads — "the BFS traversals start out with
+   little parallelism and may end with little as well".
+2. **Memory bandwidth saturates.** Irregular neighbour gathers are
+   bandwidth-bound; beyond ``bandwidth_threads`` concurrent threads,
+   extra threads add no throughput — "the main-memory bandwidth does
+   not scale with the core count on this irregular computation".
+3. **Barriers cost.** Every level ends in a synchronization whose cost
+   grows (logarithmically) with the team size; high-diameter graphs pay
+   thousands of barriers per BFS.
+
+Per level: ``t(T) = e / (r * T_eff) + t_barrier(T)`` with
+``T_eff = min(T, ceil(f / C), B)``, where ``e`` is edges examined,
+``r`` the single-thread edge rate, and ``B`` the bandwidth ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.bfs.instrumentation import BFSTrace
+from repro.errors import AlgorithmError
+from repro.parallel.chunking import DEFAULT_CHUNK_SIZE
+
+__all__ = ["CostModelParams", "LevelSynchronousCostModel"]
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Calibration constants of the cost model.
+
+    Defaults are calibrated so a 32-thread configuration reproduces the
+    paper's qualitative Figure 7: geometric-mean speedup in the single
+    digits, saturating at the physical core count, with low-diameter
+    power-law graphs near the bandwidth ceiling and high-diameter road
+    maps barrier-bound.
+    """
+
+    #: Edges processed per second by one thread (normalizes time units).
+    edge_rate: float = 25e6
+    #: Worklist chunk size (paper's per-thread chunks).
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Effective thread ceiling from memory-bandwidth saturation. The
+    #: paper's Threadripper keeps scaling to its 32 physical cores with
+    #: diminishing returns; 26 effective threads reproduces that knee.
+    bandwidth_threads: float = 26.0
+    #: Barrier latency for a 2-thread team, seconds; grows as log2(T).
+    #: Chosen relative to the *analog* graph sizes: the benchmark inputs
+    #: are ~64x smaller than the paper's, so per-level compute shrinks
+    #: by ~64x while a real barrier would not — a paper-scale barrier
+    #: constant would overstate synchronization cost by that factor.
+    barrier_base: float = 2.0e-7
+    #: Fixed per-BFS launch overhead, seconds.
+    bfs_overhead: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        if self.edge_rate <= 0 or self.chunk_size < 1 or self.bandwidth_threads < 1:
+            raise AlgorithmError("invalid cost model parameters")
+
+
+class LevelSynchronousCostModel:
+    """Predict parallel BFS runtimes from measured level traces."""
+
+    def __init__(self, params: CostModelParams | None = None):
+        self.params = params or CostModelParams()
+
+    def level_time(self, frontier_size: int, edges: int, num_threads: int) -> float:
+        """Modeled wall-clock seconds for one BFS level."""
+        if num_threads < 1:
+            raise AlgorithmError("num_threads must be >= 1")
+        p = self.params
+        max_chunk_parallelism = max(1, ceil(frontier_size / p.chunk_size))
+        t_eff = min(float(num_threads), float(max_chunk_parallelism), p.bandwidth_threads)
+        compute = edges / (p.edge_rate * t_eff)
+        barrier = p.barrier_base * log2(num_threads) if num_threads > 1 else 0.0
+        return compute + barrier
+
+    def trace_time(self, trace: BFSTrace, num_threads: int) -> float:
+        """Modeled seconds for one full BFS traversal."""
+        total = self.params.bfs_overhead
+        for level in trace.levels:
+            total += self.level_time(
+                level.frontier_size, level.edges_examined, num_threads
+            )
+        return total
+
+    def run_time(self, traces: list[BFSTrace], num_threads: int) -> float:
+        """Modeled seconds for a whole run (sum of its traversals)."""
+        return sum(self.trace_time(t, num_threads) for t in traces)
+
+    def speedup(self, traces: list[BFSTrace], num_threads: int) -> float:
+        """Modeled speedup of ``num_threads`` over one thread."""
+        t1 = self.run_time(traces, 1)
+        tn = self.run_time(traces, num_threads)
+        if tn <= 0:
+            raise AlgorithmError("degenerate trace set (zero modeled time)")
+        return t1 / tn

@@ -1,0 +1,121 @@
+"""Deterministic chunked executor.
+
+A single-process stand-in for the paper's OpenMP thread team (this
+container has one CPU core, so real threads cannot demonstrate
+scaling — see DESIGN.md §2). The executor runs chunk kernels
+sequentially but *accounts* work per simulated thread exactly as the
+round-robin chunk schedule would distribute it, producing the per-level
+imbalance profile that the cost model converts into modeled parallel
+runtimes.
+
+It is also a genuinely useful execution abstraction: kernels observe
+the same chunk boundaries and ordering a static OpenMP schedule would
+produce, so algorithms built on it are "parallel-shaped" and their
+results are independent of the simulated thread count (verified by the
+test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.parallel.chunking import DEFAULT_CHUNK_SIZE, assign_round_robin, thread_work
+
+__all__ = ["StepAccounting", "ChunkedExecutor"]
+
+
+@dataclass(frozen=True)
+class StepAccounting:
+    """Work accounting of one executor step (one BFS level, typically).
+
+    Attributes
+    ----------
+    per_thread_work:
+        Weighted work assigned to each simulated thread.
+    total_work:
+        Sum of the weights.
+    critical_path:
+        The maximum per-thread work — the level's span under the
+        simulated schedule.
+    """
+
+    per_thread_work: np.ndarray
+    total_work: int
+    critical_path: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean work ratio (1.0 = perfectly balanced)."""
+        mean = self.total_work / max(len(self.per_thread_work), 1)
+        if mean == 0:
+            return 1.0
+        return self.critical_path / mean
+
+
+@dataclass
+class ChunkedExecutor:
+    """Simulated thread team with static round-robin chunk scheduling."""
+
+    num_threads: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    history: list[StepAccounting] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise AlgorithmError("num_threads must be >= 1")
+
+    def map_chunks(
+        self,
+        kernel: Callable[[np.ndarray], object],
+        items: np.ndarray,
+        weights: np.ndarray | Sequence[int] | None = None,
+    ) -> list[object]:
+        """Apply ``kernel`` to each chunk of ``items``; account the work.
+
+        ``weights`` defaults to 1 per item; BFS passes out-degrees. The
+        kernel sees chunks in schedule order (thread 0's chunks first
+        would reorder work, so chunks run in worklist order — the same
+        order a barrier-synchronized level produces observably).
+
+        Returns the kernel results in chunk order.
+        """
+        items = np.asarray(items)
+        assignment = assign_round_robin(len(items), self.num_threads, self.chunk_size)
+        w = (
+            np.ones(len(items), dtype=np.int64)
+            if weights is None
+            else np.asarray(weights, dtype=np.int64)
+        )
+        if len(w) != len(items):
+            raise AlgorithmError(
+                f"weights length {len(w)} != items length {len(items)}"
+            )
+        per_thread = thread_work(assignment, w)
+        self.history.append(
+            StepAccounting(
+                per_thread_work=per_thread,
+                total_work=int(w.sum()),
+                critical_path=int(per_thread.max(initial=0)),
+            )
+        )
+        results = []
+        for c in range(assignment.num_chunks):
+            lo, hi = assignment.bounds[c], assignment.bounds[c + 1]
+            results.append(kernel(items[lo:hi]))
+        return results
+
+    def total_critical_path(self) -> int:
+        """Sum of per-step critical paths (the modeled parallel work)."""
+        return sum(step.critical_path for step in self.history)
+
+    def total_work(self) -> int:
+        """Sum of all work over all steps (the modeled serial work)."""
+        return sum(step.total_work for step in self.history)
+
+    def reset(self) -> None:
+        """Clear accumulated accounting."""
+        self.history.clear()

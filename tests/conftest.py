@@ -1,0 +1,65 @@
+"""Shared fixtures and oracle helpers for the test suite.
+
+The correctness oracle throughout is networkx: graphs are built as CSR
+and as networkx in parallel, and eccentricity/diameter values are
+compared. Oracles are only run on small graphs (the point of the paper
+is that the oracle approach does not scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph import CSRGraph, from_edges, from_networkx
+
+
+def nx_cc_diameter(G: nx.Graph) -> int:
+    """The paper's reported value: largest eccentricity in any CC."""
+    best = 0
+    for comp in nx.connected_components(G):
+        if len(comp) > 1:
+            best = max(best, nx.diameter(G.subgraph(comp)))
+    return best
+
+
+def to_nx(graph: CSRGraph) -> nx.Graph:
+    """Convert a CSRGraph back to networkx (for oracle checks)."""
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    G.add_edges_from(graph.iter_edges())
+    return G
+
+
+def random_gnp(n: int, p: float, seed: int) -> tuple[CSRGraph, nx.Graph]:
+    """A G(n, p) graph in both representations."""
+    G = nx.gnp_random_graph(n, p, seed=seed)
+    return from_networkx(G), G
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The 4-vertex diameter-2 example of the paper's Figure 1:
+    A joined to everything, D joined to everything, B-C not adjacent."""
+    # A=0, B=1, C=2, D=3
+    return from_edges([(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)], name="fig1")
+
+
+@pytest.fixture
+def paper_fig2_graph() -> CSRGraph:
+    """A 13-vertex graph shaped like the paper's Figure 2 example:
+    max-degree hub i, periphery vertices d and m at distance 6."""
+    # Path d - a - b - c - i, hub i with spokes, path i - k - l - m.
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4),        # d a b c i
+        (4, 5), (4, 6), (4, 7), (4, 8),        # hub spokes e f g h
+        (4, 9), (9, 10), (10, 11),             # i k l m... k l
+        (11, 12),                               # l m
+    ]
+    return from_edges(edges, name="fig2-like")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

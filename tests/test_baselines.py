@@ -1,0 +1,147 @@
+"""Tests for the baseline diameter algorithms."""
+
+import time
+
+import networkx as nx
+import pytest
+
+from conftest import nx_cc_diameter, random_gnp
+from repro.baselines import (
+    BaselineContext,
+    bounding_diameters,
+    four_sweep,
+    graph_diameter,
+    ifub_diameter,
+    korf_diameter,
+    naive_diameter,
+)
+from repro.errors import AlgorithmError, BenchmarkTimeout
+from repro.generators import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_2d,
+    lollipop,
+    path_graph,
+    star_graph,
+)
+from repro.graph import empty_graph
+
+ALL_BASELINES = [
+    naive_diameter,
+    ifub_diameter,
+    graph_diameter,
+    korf_diameter,
+    bounding_diameters,
+]
+
+
+@pytest.mark.parametrize("algorithm", ALL_BASELINES)
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(20), 19),
+            (cycle_graph(13), 6),
+            (star_graph(9), 2),
+            (complete_graph(7), 1),
+            (grid_2d(7, 9), 14),
+            (barbell(5, 6), 8),
+            (lollipop(6, 5), 6),
+        ],
+    )
+    def test_known_diameters(self, algorithm, graph, expected):
+        result = algorithm(graph)
+        assert result.diameter == expected
+        assert result.connected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_oracle(self, algorithm, seed):
+        g, G = random_gnp(32, 0.06 + 0.02 * seed, seed + 900)
+        result = algorithm(g)
+        assert result.diameter == nx_cc_diameter(G)
+        assert result.connected == nx.is_connected(G)
+
+    def test_disconnected(self, algorithm):
+        g = disjoint_union([path_graph(4), path_graph(7), star_graph(3)])
+        result = algorithm(g)
+        assert result.diameter == 6
+        assert result.infinite
+
+    def test_isolated_only(self, algorithm):
+        result = algorithm(empty_graph(4))
+        assert result.diameter == 0
+        assert result.infinite
+
+    def test_single_vertex(self, algorithm):
+        result = algorithm(empty_graph(1))
+        assert result.diameter == 0
+        assert result.connected
+
+    def test_empty_graph_rejected(self, algorithm):
+        with pytest.raises(AlgorithmError):
+            algorithm(empty_graph(0))
+
+    def test_bfs_counted(self, algorithm):
+        result = algorithm(grid_2d(6, 6))
+        assert result.bfs_traversals >= 1
+
+    def test_serial_engine_agrees(self, algorithm):
+        g, _ = random_gnp(25, 0.15, 43)
+        a = algorithm(g, engine="parallel")
+        b = algorithm(g, engine="serial")
+        assert a.diameter == b.diameter
+
+
+class TestBaselineEfficiency:
+    def test_naive_does_n_traversals(self):
+        g = grid_2d(5, 5)
+        assert naive_diameter(g).bfs_traversals == 25
+
+    def test_ifub_beats_naive_on_grid(self):
+        g = grid_2d(12, 12)
+        assert ifub_diameter(g).bfs_traversals < naive_diameter(g).bfs_traversals
+
+    def test_graph_diameter_beats_naive(self):
+        g, _ = random_gnp(120, 0.05, 44)
+        assert graph_diameter(g).bfs_traversals < 120
+
+    def test_bounding_diameters_beats_naive(self):
+        g, _ = random_gnp(120, 0.05, 45)
+        assert bounding_diameters(g).bfs_traversals < 120
+
+    def test_korf_early_termination_counts_each_source_once(self):
+        g = path_graph(30)
+        assert korf_diameter(g).bfs_traversals <= 30
+
+
+class TestTimeouts:
+    @pytest.mark.parametrize(
+        "algorithm", [naive_diameter, ifub_diameter, graph_diameter]
+    )
+    def test_expired_deadline_raises(self, algorithm):
+        g = grid_2d(25, 25)
+        with pytest.raises(BenchmarkTimeout):
+            algorithm(g, deadline=time.perf_counter() - 1)
+
+    def test_generous_deadline_ok(self):
+        g = grid_2d(6, 6)
+        result = ifub_diameter(g, deadline=time.perf_counter() + 120)
+        assert result.diameter == 10
+
+
+class TestFourSweep:
+    def test_returns_central_vertex_and_bound(self):
+        g = path_graph(31)
+        ctx = BaselineContext(g)
+        u, lb = four_sweep(ctx, 0)
+        assert lb == 30  # double sweep is exact on paths
+        assert 10 <= u <= 20  # near the centre
+
+    def test_bound_never_exceeds_diameter(self):
+        for seed in range(6):
+            g, G = random_gnp(40, 0.1, seed + 950)
+            ctx = BaselineContext(g)
+            u, lb = four_sweep(ctx, g.max_degree_vertex())
+            assert lb <= nx_cc_diameter(G) or lb == 0

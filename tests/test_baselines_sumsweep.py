@@ -1,0 +1,85 @@
+"""Tests for the SumSweep baseline."""
+
+import time
+
+import networkx as nx
+import pytest
+
+from conftest import nx_cc_diameter, random_gnp
+from repro.baselines import sumsweep_diameter
+from repro.errors import AlgorithmError, BenchmarkTimeout
+from repro.generators import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_2d,
+    lollipop,
+    path_graph,
+    star_graph,
+)
+from repro.graph import empty_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(20), 19),
+            (cycle_graph(13), 6),
+            (star_graph(9), 2),
+            (complete_graph(7), 1),
+            (grid_2d(7, 9), 14),
+            (barbell(5, 6), 8),
+            (lollipop(6, 5), 6),
+        ],
+    )
+    def test_known_diameters(self, graph, expected):
+        result = sumsweep_diameter(graph)
+        assert result.diameter == expected
+        assert result.algorithm == "SumSweep"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_oracle(self, seed):
+        g, G = random_gnp(32, 0.05 + 0.03 * (seed % 4), seed + 1400)
+        result = sumsweep_diameter(g)
+        assert result.diameter == nx_cc_diameter(G)
+        assert result.connected == nx.is_connected(G)
+
+    @pytest.mark.parametrize("sweeps", [1, 2, 6, 20])
+    def test_sweep_count_never_affects_answer(self, sweeps):
+        g, G = random_gnp(40, 0.1, 1500)
+        assert sumsweep_diameter(g, num_sweeps=sweeps).diameter == nx_cc_diameter(G)
+
+    def test_disconnected(self):
+        g = disjoint_union([path_graph(4), path_graph(9)])
+        result = sumsweep_diameter(g)
+        assert result.diameter == 8
+        assert result.infinite
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            sumsweep_diameter(empty_graph(0))
+
+    def test_serial_engine_agrees(self):
+        g, _ = random_gnp(25, 0.15, 1501)
+        assert (
+            sumsweep_diameter(g, engine="serial").diameter
+            == sumsweep_diameter(g, engine="parallel").diameter
+        )
+
+
+class TestEfficiencyAndDeadline:
+    def test_beats_naive_traversal_count(self):
+        g, _ = random_gnp(150, 0.04, 1502)
+        assert sumsweep_diameter(g).bfs_traversals < 150
+
+    def test_seeding_sweeps_find_strong_lower_bound(self):
+        # On a path, the second sweep lands on a peripheral vertex and
+        # the bound collapses the candidate set quickly.
+        result = sumsweep_diameter(path_graph(200))
+        assert result.bfs_traversals < 30
+
+    def test_deadline(self):
+        with pytest.raises(BenchmarkTimeout):
+            sumsweep_diameter(grid_2d(30, 30), deadline=time.perf_counter() - 1)

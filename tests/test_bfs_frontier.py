@@ -1,0 +1,81 @@
+"""Tests for the vectorized frontier primitives."""
+
+import numpy as np
+
+from repro.bfs import frontier_edge_count, gather_neighbors, gather_rows, row_any
+from repro.generators import path_graph, star_graph
+from repro.graph import from_edges
+
+
+class TestGatherRows:
+    def test_basic(self):
+        indices = np.array([10, 11, 12, 13, 14], dtype=np.int64)
+        values, lengths = gather_rows(
+            indices, np.array([0, 3]), np.array([2, 5])
+        )
+        assert values.tolist() == [10, 11, 13, 14]
+        assert lengths.tolist() == [2, 2]
+
+    def test_empty_rows_interleaved(self):
+        indices = np.arange(6, dtype=np.int64)
+        values, lengths = gather_rows(
+            indices, np.array([0, 2, 2, 4]), np.array([2, 2, 4, 6])
+        )
+        assert values.tolist() == [0, 1, 2, 3, 4, 5]
+        assert lengths.tolist() == [2, 0, 2, 2]
+
+    def test_all_empty(self):
+        values, lengths = gather_rows(
+            np.arange(3, dtype=np.int64), np.array([1, 2]), np.array([1, 2])
+        )
+        assert len(values) == 0
+        assert lengths.tolist() == [0, 0]
+
+    def test_no_rows(self):
+        values, lengths = gather_rows(
+            np.arange(3, dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert len(values) == 0
+        assert len(lengths) == 0
+
+
+class TestGatherNeighbors:
+    def test_star_center(self):
+        g = star_graph(5)
+        neigh = gather_neighbors(g, np.array([0]))
+        assert sorted(neigh.tolist()) == [1, 2, 3, 4]
+
+    def test_multi_vertex_frontier_keeps_repeats(self):
+        g = path_graph(4)
+        neigh = gather_neighbors(g, np.array([1, 2]))
+        # 1 -> {0, 2}, 2 -> {1, 3}: repeats preserved for dedup later.
+        assert sorted(neigh.tolist()) == [0, 1, 2, 3]
+
+    def test_empty_frontier(self):
+        g = path_graph(3)
+        assert len(gather_neighbors(g, np.array([], dtype=np.int64))) == 0
+
+
+class TestRowAny:
+    def test_basic(self):
+        values = np.array([False, True, False, False])
+        assert row_any(values, np.array([2, 2])).tolist() == [True, False]
+
+    def test_zero_length_segments_are_false(self):
+        # The reduceat pitfall this function exists to avoid.
+        values = np.array([True, True])
+        result = row_any(values, np.array([1, 0, 1, 0]))
+        assert result.tolist() == [True, False, True, False]
+
+    def test_all_empty(self):
+        result = row_any(np.array([], dtype=bool), np.array([0, 0]))
+        assert result.tolist() == [False, False]
+
+
+class TestFrontierEdgeCount:
+    def test_counts_arcs(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2)])
+        assert frontier_edge_count(g, np.array([0])) == 2
+        assert frontier_edge_count(g, np.array([0, 1, 2])) == 6

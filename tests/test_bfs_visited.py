@@ -1,0 +1,52 @@
+"""Tests for the counter-based visited marks."""
+
+import numpy as np
+
+from repro.bfs import VisitMarks
+
+
+class TestVisitMarks:
+    def test_initially_unvisited(self):
+        m = VisitMarks(5)
+        m.new_epoch()
+        assert not m.is_visited(0)
+        assert m.unvisited_mask().all()
+
+    def test_visit_scalar_and_array(self):
+        m = VisitMarks(5)
+        m.new_epoch()
+        m.visit(2)
+        assert m.is_visited(2)
+        m.visit(np.array([0, 4]))
+        assert m.visited_count() == 3
+
+    def test_new_epoch_resets_without_touching_array(self):
+        m = VisitMarks(4)
+        m.new_epoch()
+        m.visit(np.arange(4))
+        before = m.marks.copy()
+        m.new_epoch()
+        # No writes happened, yet everything reads as unvisited.
+        assert (m.marks == before).all()
+        assert m.visited_count() == 0
+
+    def test_epochs_never_alias(self):
+        # The core reason for the counter trick (paper §4): marks from
+        # one traversal must never leak into another, across thousands
+        # of epochs, without any reset pass.
+        m = VisitMarks(3)
+        for epoch in range(1000):
+            m.new_epoch()
+            assert m.visited_count() == 0
+            m.visit(epoch % 3)
+            assert m.visited_count() == 1
+
+    def test_zero_reserved_as_never_visited(self):
+        m = VisitMarks(2)
+        assert m.counter == 0
+        m.new_epoch()
+        assert m.counter == 1
+        assert not m.is_visited(0)
+
+    def test_len(self):
+        assert len(VisitMarks(7)) == 7

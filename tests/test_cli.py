@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators import disjoint_union, grid_2d, path_graph
+from repro.graph import save_npz, write_edge_list
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    path = tmp_path / "grid.el"
+    write_edge_list(grid_2d(10, 10), path)
+    return str(path)
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["g.el"])
+        assert args.engine == "parallel"
+        assert not args.no_winnow
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["g.npz", "--engine", "serial", "--no-winnow", "--no-eliminate",
+             "--no-chain", "--start-vertex-zero", "--spectrum", "--stats"]
+        )
+        assert args.engine == "serial"
+        assert args.no_winnow and args.no_eliminate and args.no_chain
+        assert args.start_vertex_zero and args.spectrum and args.stats
+
+
+class TestMain:
+    def test_basic_run(self, grid_file, capsys):
+        assert main([grid_file]) == 0
+        out = capsys.readouterr().out
+        assert "diameter : 18" in out
+        assert "vertices : 100" in out
+
+    def test_stats_flag(self, grid_file, capsys):
+        assert main([grid_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS traversals" in out
+        assert "winnow" in out
+
+    def test_spectrum_flag(self, grid_file, capsys):
+        assert main([grid_file, "--spectrum"]) == 0
+        out = capsys.readouterr().out
+        # 10x10 grid: centre cells sit 5+5 steps from the far corner.
+        assert "radius    : 10" in out
+        assert "periphery" in out
+
+    def test_serial_engine(self, grid_file, capsys):
+        assert main([grid_file, "--engine", "serial"]) == 0
+        assert "diameter : 18" in capsys.readouterr().out
+
+    def test_ablation_flags_same_answer(self, grid_file, capsys):
+        assert main([grid_file, "--no-winnow", "--no-chain"]) == 0
+        assert "diameter : 18" in capsys.readouterr().out
+
+    def test_disconnected_reported_infinite(self, tmp_path, capsys):
+        path = tmp_path / "two.npz"
+        save_npz(disjoint_union([path_graph(4), path_graph(6)]), path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "infinite" in out
+        assert "largest component eccentricity = 5" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/graph.el"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_format(self, tmp_path, capsys):
+        bad = tmp_path / "graph.weird"
+        bad.write_text("0 1\n")
+        assert main([str(bad)]) == 2

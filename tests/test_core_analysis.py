@@ -1,0 +1,68 @@
+"""Tests for the winnow-coverage analysis tools."""
+
+import pytest
+
+from repro.core.analysis import coverage_by_centrality, winnow_coverage
+from repro.errors import AlgorithmError
+from repro.generators import (
+    barabasi_albert,
+    grid_2d,
+    path_graph,
+    star_graph,
+)
+from repro.graph import empty_graph
+
+
+class TestWinnowCoverage:
+    def test_star_center_covers_all(self):
+        cov = winnow_coverage(star_graph(10), 0, bound=2)
+        assert cov.radius == 1
+        assert cov.covered == 9
+        assert cov.fraction == pytest.approx(0.9)
+
+    def test_star_leaf_covers_less(self):
+        centre = winnow_coverage(star_graph(10), 0, bound=2)
+        leaf = winnow_coverage(star_graph(10), 3, bound=2)
+        assert leaf.covered < centre.covered
+
+    def test_path_middle_vs_end(self):
+        g = path_graph(21)
+        mid = winnow_coverage(g, 10, bound=10)
+        end = winnow_coverage(g, 0, bound=10)
+        assert mid.covered == 10  # radius 5 both directions
+        assert end.covered == 5
+
+    def test_zero_bound(self):
+        cov = winnow_coverage(path_graph(5), 2, bound=0)
+        assert cov.covered == 0
+
+    def test_does_not_mutate_anything(self):
+        g = grid_2d(6, 6)
+        before = g.degrees.copy()
+        winnow_coverage(g, 0, bound=6)
+        assert (g.degrees == before).all()
+
+    def test_errors(self):
+        with pytest.raises(AlgorithmError):
+            winnow_coverage(empty_graph(0), 0, 2)
+        with pytest.raises(AlgorithmError):
+            winnow_coverage(path_graph(3), 0, -1)
+
+
+class TestCoverageByCentrality:
+    def test_hubs_cover_more_on_powerlaw(self):
+        # The paper's §3 claim: high-degree vertices are central, so
+        # winnowing from them covers more.
+        g = barabasi_albert(2000, 4, seed=21)
+        cov = coverage_by_centrality(g, bound=6, seed=1)
+        assert cov[100] > cov[0]
+
+    def test_all_percentiles_reported(self):
+        g = grid_2d(12, 12)
+        cov = coverage_by_centrality(g, bound=10, percentiles=(0, 50, 100))
+        assert set(cov) == {0, 50, 100}
+        assert all(0.0 <= v <= 1.0 for v in cov.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            coverage_by_centrality(empty_graph(0), 4)

@@ -1,0 +1,96 @@
+"""Tests for the bounded diameter approximations."""
+
+import pytest
+
+import repro
+from conftest import nx_cc_diameter, random_gnp, to_nx
+from repro.core.approx import four_sweep_estimate, two_sweep_estimate
+from repro.errors import AlgorithmError
+from repro.generators import (
+    barbell,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph import empty_graph, from_edges
+
+
+@pytest.mark.parametrize("estimator", [two_sweep_estimate, four_sweep_estimate])
+class TestBoundsAlwaysValid:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_interval_contains_true_diameter(self, estimator, seed):
+        g, G = random_gnp(40, 0.08 + 0.02 * (seed % 4), seed + 1300)
+        import networkx as nx
+
+        if not nx.is_connected(G):
+            G = G.subgraph(max(nx.connected_components(G), key=len))
+            start = next(iter(G.nodes))
+        else:
+            start = None
+        diam = nx.diameter(G) if len(G) > 1 else 0
+        est = estimator(g, start)
+        assert est.lower <= diam <= est.upper
+
+    def test_two_approximation_guarantee(self, estimator):
+        for n in (10, 25, 50):
+            est = estimator(cycle_graph(n))
+            assert est.upper <= 2 * max(est.lower, 1)
+
+    def test_empty_rejected(self, estimator):
+        with pytest.raises(AlgorithmError):
+            estimator(empty_graph(0))
+
+    def test_isolated_start(self, estimator):
+        g = from_edges([(0, 1)], num_vertices=3)
+        est = estimator(g, start=2)
+        assert est.lower == est.upper == 0
+        assert est.component_size == 1
+
+    @pytest.mark.parametrize("engine", ["parallel", "serial"])
+    def test_engines_agree(self, estimator, engine):
+        g = grid_2d(8, 8)
+        est = estimator(g, engine=engine)
+        assert est.lower <= 14 <= est.upper
+
+
+class TestSweepQuality:
+    def test_exact_on_paths(self):
+        est = two_sweep_estimate(path_graph(31), start=15)
+        assert est.is_exact
+        assert est.lower == 30
+
+    def test_exact_on_star(self):
+        est = two_sweep_estimate(star_graph(9))
+        assert est.lower == 2
+        assert est.is_exact
+
+    def test_exact_on_grids(self):
+        # Double sweep famously nails grid diameters.
+        est = two_sweep_estimate(grid_2d(13, 17))
+        assert est.lower == 13 + 17 - 2
+
+    def test_small_world_near_exact(self):
+        g = watts_strogatz(2000, 6, 0.1, seed=14)
+        exact = repro.fdiam(g).diameter
+        est = four_sweep_estimate(g)
+        assert est.lower >= exact - 1  # paper: "often very close"
+
+    def test_four_sweep_at_least_as_tight_on_barbell(self):
+        g = barbell(10, 9)
+        two = two_sweep_estimate(g)
+        four = four_sweep_estimate(g)
+        assert four.lower >= two.lower
+        assert four.upper <= two.upper or four.is_exact
+
+    def test_relative_error_metric(self):
+        est = two_sweep_estimate(grid_2d(10, 10))
+        assert est.max_relative_error >= 0.0
+        exact_est = two_sweep_estimate(path_graph(9), start=4)
+        assert exact_est.max_relative_error == 0.0
+
+    def test_traversal_budgets(self):
+        g = grid_2d(6, 6)
+        assert two_sweep_estimate(g).bfs_traversals == 2
+        assert four_sweep_estimate(g).bfs_traversals == 7

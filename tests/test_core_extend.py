@@ -1,0 +1,77 @@
+"""Tests for the incremental extension of eliminated regions (§4.5)."""
+
+import numpy as np
+
+from conftest import random_gnp
+from repro.bfs import all_eccentricities, serial_distances
+from repro.core import FDiamConfig, FDiamState, eliminate, extend_eliminated
+from repro.core.state import ACTIVE
+from repro.generators import path_graph
+
+
+def make_state(graph):
+    return FDiamState(graph, FDiamConfig())
+
+
+class TestExtendEliminated:
+    def test_noop_without_seeds(self):
+        state = make_state(path_graph(6))
+        assert extend_eliminated(state, 3, 5) == 0
+
+    def test_noop_when_bound_unchanged(self):
+        state = make_state(path_graph(6))
+        eliminate(state, 2, ecc=3, bound=5)
+        assert extend_eliminated(state, 5, 5) == 0
+
+    def test_extension_continues_the_wave(self):
+        g = path_graph(13)
+        state = make_state(g)
+        # Eliminate from the middle with bound 8: depth 2, bounds 7, 8.
+        eliminate(state, 6, ecc=6, bound=8)
+        assert state.status[4] == 8 and state.status[8] == 8
+        assert state.status[3] == ACTIVE
+        # New bound 10: seeds are the status==8 vertices; 2 more levels.
+        extend_eliminated(state, 8, 10)
+        assert state.status[3] == 9 and state.status[9] == 9
+        assert state.status[2] == 10 and state.status[10] == 10
+        assert state.status[1] == ACTIVE
+
+    def test_extension_removes_same_vertices_as_direct_eliminate(self):
+        # eliminate(bound=b1) + extend(b1 -> b2) must remove exactly the
+        # vertices eliminate(bound=b2) removes. (Recorded bound *values*
+        # may differ on region interiors: the extension wave re-enters
+        # the already-removed region and overwrites interior bounds with
+        # larger — still valid — ones, as in the paper's Algorithm 1
+        # lines 17–19.) The source is pre-recorded like the driver does.
+        from repro.core import Reason
+
+        for seed in range(6):
+            g, _ = random_gnp(40, 0.1, seed + 400)
+            ecc_v = int(all_eccentricities(g)[0])
+            b1, b2 = ecc_v + 2, ecc_v + 4
+
+            two_step = make_state(g)
+            two_step.remove(0, np.int64(ecc_v), Reason.COMPUTED)
+            eliminate(two_step, 0, ecc=ecc_v, bound=b1)
+            extend_eliminated(two_step, b1, b2)
+
+            direct = make_state(g)
+            direct.remove(0, np.int64(ecc_v), Reason.COMPUTED)
+            eliminate(direct, 0, ecc=ecc_v, bound=b2)
+
+            assert (
+                two_step.active_mask() == direct.active_mask()
+            ).all(), f"seed={seed}"
+
+    def test_multi_source_extension(self):
+        # Two separate eliminated regions extend simultaneously.
+        g = path_graph(21)
+        state = make_state(g)
+        eliminate(state, 3, ecc=17, bound=18)   # removes 2 and 4 with bound 18
+        eliminate(state, 17, ecc=17, bound=18)  # removes 16 and 18
+        extended = extend_eliminated(state, 18, 19)
+        assert extended > 0
+        for v in (1, 5, 15, 19):
+            assert state.status[v] == 19
+        dist_ok = serial_distances(g, 3)
+        assert dist_ok[5] == 2  # sanity: the wave advanced one level

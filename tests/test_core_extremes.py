@@ -1,0 +1,128 @@
+"""Tests for radius / center / periphery / eccentricity spectrum."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import random_gnp, to_nx
+from repro.bfs import all_eccentricities
+from repro.core.extremes import (
+    center,
+    eccentricity_spectrum,
+    periphery,
+    radius,
+)
+from repro.errors import AlgorithmError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_2d,
+    path_graph,
+    star_graph,
+)
+from repro.graph import empty_graph
+
+
+class TestKnownSpectra:
+    def test_path(self):
+        spec = eccentricity_spectrum(path_graph(9))
+        assert spec.diameter == 8
+        assert spec.radius == 4
+        assert spec.center.tolist() == [4]
+        assert sorted(spec.periphery.tolist()) == [0, 8]
+        assert (spec.eccentricities == np.array([8, 7, 6, 5, 4, 5, 6, 7, 8])).all()
+
+    def test_even_path_two_centers(self):
+        spec = eccentricity_spectrum(path_graph(10))
+        assert spec.radius == 5
+        assert sorted(spec.center.tolist()) == [4, 5]
+
+    def test_cycle_all_center_all_periphery(self):
+        spec = eccentricity_spectrum(cycle_graph(8))
+        assert spec.radius == spec.diameter == 4
+        assert len(spec.center) == 8
+        assert len(spec.periphery) == 8
+
+    def test_star(self):
+        spec = eccentricity_spectrum(star_graph(7))
+        assert spec.radius == 1
+        assert spec.center.tolist() == [0]
+        assert len(spec.periphery) == 6
+
+    def test_complete(self):
+        spec = eccentricity_spectrum(complete_graph(5))
+        assert spec.radius == spec.diameter == 1
+        assert len(spec.center) == 5
+
+    def test_grid(self):
+        spec = eccentricity_spectrum(grid_2d(5, 5))
+        assert spec.diameter == 8
+        assert spec.radius == 4
+        assert spec.center.tolist() == [12]  # the middle cell
+        assert sorted(spec.periphery.tolist()) == [0, 4, 20, 24]  # corners
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g, G = random_gnp(35, 0.1, seed + 1000)
+        spec = eccentricity_spectrum(g)
+        assert (spec.eccentricities == all_eccentricities(g)).all()
+        if nx.is_connected(G) and len(G) > 1:
+            assert spec.radius == nx.radius(G)
+            assert spec.diameter == nx.diameter(G)
+            assert sorted(spec.center.tolist()) == sorted(nx.center(G))
+            assert sorted(spec.periphery.tolist()) == sorted(nx.periphery(G))
+
+    @pytest.mark.parametrize("engine", ["parallel", "serial"])
+    def test_engines_agree(self, engine):
+        g, _ = random_gnp(30, 0.12, 55)
+        spec = eccentricity_spectrum(g, engine=engine)
+        assert (spec.eccentricities == all_eccentricities(g)).all()
+
+    def test_pruning_saves_traversals(self):
+        g, G = random_gnp(150, 0.05, 56)
+        spec = eccentricity_spectrum(g)
+        assert spec.bfs_traversals <= g.num_vertices
+
+
+class TestDisconnected:
+    def test_conventions(self):
+        g = disjoint_union([path_graph(9), star_graph(20)])
+        spec = eccentricity_spectrum(g)
+        assert not spec.connected
+        assert spec.diameter == 8  # largest CC eccentricity
+        # Radius/center reported for the largest component (the star).
+        assert spec.radius == 1
+        assert spec.center.tolist() == [9]  # star centre, offset by 9
+        assert sorted(spec.periphery.tolist()) == [0, 8]
+
+    def test_isolated_vertices_have_zero_ecc(self):
+        g = disjoint_union([path_graph(3), empty_graph(2)])
+        spec = eccentricity_spectrum(g)
+        assert spec.eccentricities[3] == 0
+        assert spec.eccentricities[4] == 0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            eccentricity_spectrum(empty_graph(0))
+
+
+class TestConvenienceWrappers:
+    def test_radius_center_periphery(self):
+        g = path_graph(7)
+        assert radius(g) == 3
+        assert center(g).tolist() == [3]
+        assert sorted(periphery(g).tolist()) == [0, 6]
+
+    def test_consistency_with_fdiam(self):
+        import repro
+
+        for seed in range(4):
+            g, _ = random_gnp(40, 0.08, seed + 1100)
+            spec = eccentricity_spectrum(g)
+            assert spec.diameter == repro.fdiam(g).diameter
+            # Theorem 3: radius >= diameter / 2 within the largest CC.
+            if spec.connected and g.num_vertices > 1:
+                assert 2 * spec.radius >= spec.diameter

@@ -1,0 +1,162 @@
+"""Property-based tests of the F-Diam safety theorems (hypothesis).
+
+These encode the paper's Theorems 1–3 and the composed safety argument
+of the full algorithm as properties over random graphs. They are the
+strongest correctness evidence in the suite: any unsound pruning rule
+would eventually produce a diameter underestimate here.
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from conftest import nx_cc_diameter
+from repro.bfs import all_eccentricities
+from repro.core import ABLATIONS, FDiamConfig, FDiamState, fdiam, process_chains, winnow
+from repro.core.state import ACTIVE
+from repro.graph import from_edge_arrays
+
+
+@st.composite
+def random_graphs(draw, max_n=28):
+    """Random graphs over a wide density range, sometimes disconnected."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_edges, 3 * n)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return from_edge_arrays(src, dst, num_vertices=n)
+
+
+def graph_to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices))
+    G.add_edges_from(g.iter_edges())
+    return G
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graphs())
+def test_theorem1_adjacent_ecc_differ_by_at_most_one(g):
+    """Theorem 1: |ecc(x) - ecc(y)| <= 1 for adjacent x, y."""
+    ecc = all_eccentricities(g)
+    for u, v in g.iter_edges():
+        assert abs(int(ecc[u]) - int(ecc[v])) <= 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graphs())
+def test_theorem2_at_least_two_max_ecc_vertices(g):
+    """Theorem 2: a connected graph with >= 2 vertices has >= 2
+    vertices of maximum eccentricity."""
+    G = graph_to_nx(g)
+    if not nx.is_connected(G) or g.num_vertices < 2:
+        return
+    ecc = all_eccentricities(g)
+    assert int((ecc == ecc.max()).sum()) >= 2
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graphs())
+def test_theorem3_radius_at_least_half_diameter(g):
+    """Theorem 3: min ecc >= diam / 2 in a connected graph."""
+    G = graph_to_nx(g)
+    if not nx.is_connected(G) or g.num_vertices < 2:
+        return
+    ecc = all_eccentricities(g)
+    assert 2 * int(ecc.min()) >= int(ecc.max())
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_graphs())
+def test_fdiam_exact_on_everything(g):
+    """The headline property: F-Diam returns the exact CC diameter."""
+    expected = nx_cc_diameter(graph_to_nx(g))
+    result = fdiam(g)
+    assert result.diameter == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), st.sampled_from(sorted(ABLATIONS)))
+def test_ablations_remain_exact(g, variant):
+    """Disabling any optimization must never change the answer."""
+    expected = nx_cc_diameter(graph_to_nx(g))
+    assert fdiam(g, ABLATIONS[variant]).diameter == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), st.integers(min_value=1, max_value=8))
+def test_winnow_preserves_a_witness_per_component(g, bound):
+    """Composed Winnow safety on arbitrary (possibly disconnected)
+    graphs: winnowing from the max-degree vertex with any bound less
+    than the diameter of *its* component leaves a witness of that
+    component's diameter active."""
+    G = graph_to_nx(g)
+    u = g.max_degree_vertex()
+    comp = nx.node_connected_component(G, u)
+    if len(comp) < 2:
+        return
+    sub = G.subgraph(comp)
+    diam = nx.diameter(sub)
+    if bound >= diam:
+        return
+    state = FDiamState(g, FDiamConfig())
+    winnow(state, u, bound)
+    ecc = nx.eccentricity(sub)
+    witnesses = [v for v, e in ecc.items() if e == diam]
+    assert any(state.status[w] == ACTIVE for w in witnesses)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_chain_processing_preserves_component_witnesses(g):
+    """After Chain Processing, every component with >= 2 vertices still
+    has an active vertex realizing its diameter."""
+    G = graph_to_nx(g)
+    state = FDiamState(g, FDiamConfig())
+    process_chains(state)
+    for comp in nx.connected_components(G):
+        if len(comp) < 2:
+            continue
+        sub = G.subgraph(comp)
+        diam = nx.diameter(sub)
+        ecc = nx.eccentricity(sub)
+        witnesses = [v for v, e in ecc.items() if e == diam]
+        assert any(state.status[w] == ACTIVE for w in witnesses)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_status_values_dominate_true_eccentricity(g):
+    """After a full run, every recorded status is a valid upper bound:
+    status[v] >= ecc(v) for every vertex (WINNOWED vertices excepted —
+    they carry no bound), and no vertex is left active."""
+    from repro.core import fdiam_with_state
+    from repro.core.state import WINNOWED
+
+    ecc = all_eccentricities(g)
+    result, state = fdiam_with_state(g)
+    assert result.diameter == int(ecc.max())
+    assert state.active_count() == 0
+    for v in range(g.num_vertices):
+        if state.status[v] == WINNOWED:
+            continue
+        assert int(state.status[v]) >= int(ecc[v]), (
+            f"vertex {v}: recorded bound {int(state.status[v])} "
+            f"< true ecc {int(ecc[v])}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_computed_statuses_are_exact(g):
+    """Vertices attributed to COMPUTED carry their exact eccentricity."""
+    from repro.core import Reason, fdiam_with_state
+
+    ecc = all_eccentricities(g)
+    _, state = fdiam_with_state(g)
+    computed = np.flatnonzero(state.reason == Reason.COMPUTED)
+    for v in computed:
+        assert int(state.status[v]) == int(ecc[v])

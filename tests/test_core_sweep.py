@@ -1,0 +1,68 @@
+"""Tests for the 2-sweep initial bound."""
+
+import pytest
+
+from conftest import nx_cc_diameter, random_gnp, to_nx
+from repro.core import FDiamConfig, FDiamState, Reason, two_sweep
+from repro.core.state import ACTIVE
+from repro.errors import AlgorithmError
+from repro.generators import grid_2d, path_graph, star_graph
+from repro.graph import empty_graph, from_edges
+
+
+def make_state(graph, **cfg):
+    return FDiamState(graph, FDiamConfig(**cfg))
+
+
+class TestTwoSweep:
+    def test_path_from_middle_finds_exact_diameter(self):
+        g = path_graph(11)
+        state = make_state(g)
+        res = two_sweep(state, 5)
+        assert res.start_ecc == 5
+        assert res.bound == 10  # far vertex is an endpoint; its ecc is exact
+        assert res.visited_from_start == 11
+
+    def test_star_bound(self):
+        state = make_state(star_graph(6))
+        res = two_sweep(state, 0)
+        assert res.start_ecc == 1
+        assert res.bound == 2
+
+    def test_grid_bound_is_lower_bound(self):
+        g = grid_2d(9, 13)
+        state = make_state(g)
+        res = two_sweep(state, g.max_degree_vertex())
+        true_diam = 9 + 13 - 2
+        assert res.bound <= true_diam
+        # On grids the double sweep is known to be exact or near-exact.
+        assert res.bound >= true_diam - 2
+
+    def test_random_graphs_bound_valid(self):
+        for seed in range(8):
+            g, G = random_gnp(40, 0.1, seed + 100)
+            state = make_state(g)
+            res = two_sweep(state, g.max_degree_vertex())
+            assert res.bound <= nx_cc_diameter(to_nx(g)) or res.bound == 0
+
+    def test_removes_both_endpoints(self):
+        g = path_graph(7)
+        state = make_state(g)
+        res = two_sweep(state, 3)
+        assert state.status[3] != ACTIVE
+        assert state.status[res.far_vertex] != ACTIVE
+        assert state.stats.removed_by[Reason.COMPUTED] == 2
+        assert state.stats.eccentricity_bfs == 2
+
+    def test_isolated_start(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        state = make_state(g)
+        res = two_sweep(state, 2)
+        assert res.bound == 0
+        assert res.far_vertex == 2
+        assert res.visited_from_start == 1
+        assert state.stats.eccentricity_bfs == 1
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(AlgorithmError):
+            two_sweep(FDiamState(empty_graph(0), FDiamConfig()), 0)

@@ -1,0 +1,101 @@
+"""Tests for the exception hierarchy and assorted small surfaces."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AlgorithmError,
+    BenchmarkTimeout,
+    GraphFormatError,
+    GraphValidationError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [AlgorithmError, BenchmarkTimeout, GraphFormatError, GraphValidationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_benchmark_timeout_elapsed(self):
+        e = BenchmarkTimeout("slow", elapsed=12.5)
+        assert e.elapsed == 12.5
+        assert BenchmarkTimeout("slow").elapsed is None
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        for pkg in (
+            repro.graph,
+            repro.generators,
+            repro.bfs,
+            repro.core,
+            repro.baselines,
+            repro.parallel,
+            repro.harness,
+        ):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
+
+    def test_result_str_connected(self):
+        g = repro.generators.path_graph(4)
+        assert str(repro.fdiam(g)) == "3"
+
+
+class TestAdjacencyListsCache:
+    def test_lazy_and_cached(self):
+        g = repro.generators.star_graph(5)
+        lists1 = g.adjacency_lists()
+        lists2 = g.adjacency_lists()
+        assert lists1 is lists2
+        assert lists1[0] == [1, 2, 3, 4]
+        assert lists1[3] == [0]
+
+    def test_matches_neighbors(self):
+        g = repro.generators.grid_2d(4, 4)
+        adj = g.adjacency_lists()
+        for v in range(g.num_vertices):
+            assert adj[v] == g.neighbors(v).tolist()
+
+
+class TestEdgeListHeader:
+    def test_nodes_header_roundtrip(self):
+        import io
+
+        from repro.graph import from_edges, read_edge_list, write_edge_list
+
+        g = from_edges([(0, 1)], num_vertices=6)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        assert "# Nodes: 6" in buf.getvalue()
+        buf.seek(0)
+        assert read_edge_list(buf).num_vertices == 6
+
+    def test_explicit_argument_beats_header(self):
+        import io
+
+        from repro.graph import read_edge_list
+
+        text = "# Nodes: 10 Edges: 1\n0 1\n"
+        g = read_edge_list(io.StringIO(text), num_vertices=4)
+        assert g.num_vertices == 4
+
+    def test_malformed_header_ignored(self):
+        import io
+
+        from repro.graph import read_edge_list
+
+        text = "# Nodes: lots\n0 1\n"
+        assert read_edge_list(io.StringIO(text)).num_vertices == 2

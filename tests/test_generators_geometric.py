@@ -1,0 +1,67 @@
+"""Tests for the random geometric generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.generators.geometric import random_geometric
+from repro.graph import validate_csr
+
+
+class TestRandomGeometric:
+    def test_valid_csr(self):
+        g = random_geometric(300, 0.1, seed=1)
+        validate_csr(g)
+        assert g.num_vertices == 300
+
+    def test_matches_brute_force(self):
+        # The spatial hash must find exactly the pairs within radius.
+        n, radius, seed = 120, 0.17, 5
+        g = random_geometric(n, radius, seed=seed)
+        points = np.random.default_rng(seed).random((n, 2))
+        expected = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                d2 = ((points[i] - points[j]) ** 2).sum()
+                if d2 <= radius * radius:
+                    expected.add((i, j))
+        assert set(g.iter_edges()) == expected
+
+    def test_deterministic(self):
+        a = random_geometric(200, 0.12, seed=9)
+        b = random_geometric(200, 0.12, seed=9)
+        assert (a.indices == b.indices).all()
+
+    def test_radius_controls_density(self):
+        sparse = random_geometric(400, 0.05, seed=2)
+        dense = random_geometric(400, 0.2, seed=2)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_full_radius_is_complete(self):
+        g = random_geometric(40, np.sqrt(2.0), seed=3)
+        assert g.num_edges == 40 * 39 // 2
+
+    def test_tiny_radius_mostly_isolated(self):
+        g = random_geometric(100, 0.005, seed=4)
+        assert len(g.isolated_vertices()) > 50
+
+    def test_single_point(self):
+        g = random_geometric(1, 0.5)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AlgorithmError):
+            random_geometric(0, 0.1)
+        with pytest.raises(AlgorithmError):
+            random_geometric(10, 0.0)
+        with pytest.raises(AlgorithmError):
+            random_geometric(10, 2.0)
+
+    def test_high_diameter_regime(self):
+        import repro
+
+        g = random_geometric(800, 0.06, seed=6)
+        result = repro.fdiam(g)
+        # Near-threshold geometric graphs have long thin paths.
+        assert result.diameter > 10

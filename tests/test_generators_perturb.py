@@ -1,0 +1,70 @@
+"""Tests for vertex permutation and other perturbation invariants."""
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import to_nx, nx_cc_diameter
+from repro.generators import (
+    barabasi_albert,
+    grid_2d,
+    path_graph,
+    permute_vertices,
+)
+from repro.graph import validate_csr
+
+
+class TestPermuteVertices:
+    def test_preserves_sizes(self):
+        g = grid_2d(8, 8)
+        p = permute_vertices(g, seed=1)
+        validate_csr(p)
+        assert p.num_vertices == g.num_vertices
+        assert p.num_edges == g.num_edges
+
+    def test_preserves_degree_multiset(self):
+        g = barabasi_albert(500, 3, seed=2)
+        p = permute_vertices(g, seed=3)
+        assert sorted(p.degrees.tolist()) == sorted(g.degrees.tolist())
+
+    def test_preserves_diameter(self):
+        for seed in range(4):
+            g = barabasi_albert(300, 2, seed=seed)
+            p = permute_vertices(g, seed=seed + 50)
+            assert repro.fdiam(p).diameter == repro.fdiam(g).diameter
+
+    def test_isomorphism_oracle(self):
+        import networkx as nx
+
+        g = grid_2d(4, 5)
+        p = permute_vertices(g, seed=4)
+        assert nx.is_isomorphic(to_nx(g), to_nx(p))
+
+    def test_breaks_id_centrality_correlation(self):
+        # In raw BA graphs vertex 0 is the most central; after
+        # permutation its degree should usually be unremarkable.
+        hits = 0
+        for seed in range(6):
+            g = barabasi_albert(1000, 4, seed=seed)
+            p = permute_vertices(g, seed=seed)
+            if p.max_degree_vertex() == g.max_degree_vertex():
+                hits += 1
+        assert hits < 6
+
+    def test_deterministic(self):
+        g = path_graph(30)
+        a = permute_vertices(g, seed=9)
+        b = permute_vertices(g, seed=9)
+        assert (a.indices == b.indices).all()
+
+    def test_different_seeds_differ(self):
+        g = path_graph(30)
+        a = permute_vertices(g, seed=9)
+        b = permute_vertices(g, seed=10)
+        assert not (a.indptr == b.indptr).all() or not (
+            a.indices == b.indices
+        ).all()
+
+    def test_named(self):
+        assert permute_vertices(path_graph(3), name="x").name == "x"
+        assert permute_vertices(path_graph(3)).name.endswith("-perm")

@@ -1,0 +1,115 @@
+"""Tests for the closed-form primitive generators.
+
+Every primitive documents its exact diameter; these tests pin those
+values with the naive oracle so the rest of the suite can rely on them.
+"""
+
+import pytest
+
+from repro.baselines import naive_diameter
+from repro.errors import AlgorithmError
+from repro.generators import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph import validate_csr
+
+
+class TestPathGraph:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_structure(self, n):
+        g = path_graph(n)
+        validate_csr(g)
+        assert g.num_vertices == n
+        assert g.num_edges == n - 1
+
+    @pytest.mark.parametrize("n", [2, 5, 17])
+    def test_diameter(self, n):
+        assert naive_diameter(path_graph(n)).diameter == n - 1
+
+    def test_invalid(self):
+        with pytest.raises(AlgorithmError):
+            path_graph(0)
+
+
+class TestCycleGraph:
+    @pytest.mark.parametrize("n,expected", [(3, 1), (4, 2), (7, 3), (10, 5)])
+    def test_diameter(self, n, expected):
+        g = cycle_graph(n)
+        validate_csr(g)
+        assert naive_diameter(g).diameter == expected
+
+    def test_all_degree_two(self):
+        assert set(cycle_graph(8).degrees.tolist()) == {2}
+
+    def test_invalid(self):
+        with pytest.raises(AlgorithmError):
+            cycle_graph(2)
+
+
+class TestStarGraph:
+    def test_diameter(self):
+        assert naive_diameter(star_graph(8)).diameter == 2
+
+    def test_two_vertices(self):
+        assert naive_diameter(star_graph(2)).diameter == 1
+
+    def test_single_vertex(self):
+        g = star_graph(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestCompleteGraph:
+    @pytest.mark.parametrize("n", [2, 3, 6])
+    def test_diameter_one(self, n):
+        assert naive_diameter(complete_graph(n)).diameter == 1
+
+    def test_edge_count(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+        validate_csr(g)
+
+
+class TestBalancedTree:
+    @pytest.mark.parametrize("b,h", [(2, 3), (3, 2), (2, 4)])
+    def test_diameter_twice_height(self, b, h):
+        assert naive_diameter(balanced_tree(b, h)).diameter == 2 * h
+
+    def test_vertex_count(self):
+        assert balanced_tree(2, 3).num_vertices == 15
+        assert balanced_tree(3, 2).num_vertices == 13
+
+    def test_unary_tree_is_path(self):
+        g = balanced_tree(1, 5)
+        assert g.num_vertices == 6
+        assert naive_diameter(g).diameter == 5
+
+    def test_height_zero(self):
+        assert balanced_tree(3, 0).num_vertices == 1
+
+
+class TestCaterpillar:
+    def test_diameter(self):
+        assert naive_diameter(caterpillar(6, 2)).diameter == 7
+
+    def test_leg_count(self):
+        g = caterpillar(4, 3)
+        assert g.num_vertices == 4 + 12
+
+    def test_no_legs_is_path(self):
+        assert naive_diameter(caterpillar(5, 0)).diameter == 4
+
+
+class TestBarbell:
+    @pytest.mark.parametrize("clique,bridge", [(3, 2), (5, 4), (2, 1)])
+    def test_diameter(self, clique, bridge):
+        assert naive_diameter(barbell(clique, bridge)).diameter == bridge + 2
+
+    def test_vertex_count(self):
+        assert barbell(4, 3).num_vertices == 2 * 4 + 3 - 1

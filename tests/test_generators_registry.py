@@ -1,0 +1,72 @@
+"""Tests for the paper-analog registry."""
+
+import pytest
+
+from repro.generators import PAPER_ANALOGS, build_analog, clear_cache
+from repro.graph import validate_csr
+
+
+class TestRegistryContents:
+    def test_seventeen_inputs(self):
+        assert len(PAPER_ANALOGS) == 17
+
+    def test_paper_order(self):
+        names = list(PAPER_ANALOGS)
+        assert names[0] == "2d-2e20.sym"
+        assert names[-1] == "USA-road-d.USA"
+
+    def test_metadata_present(self):
+        for spec in PAPER_ANALOGS.values():
+            assert spec.paper_vertices > 0
+            assert spec.paper_diameter > 0
+            assert spec.topology
+
+
+class TestBuildAnalog:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown paper input"):
+            build_analog("no-such-graph")
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = build_analog("internet")
+        b = build_analog("internet")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = build_analog("internet")
+        clear_cache()
+        b = build_analog("internet")
+        assert a is not b
+        # Deterministic: same structure even across cache clears.
+        assert (a.indices == b.indices).all()
+
+    @pytest.mark.parametrize(
+        "name", ["internet", "rmat16.sym", "USA-road-d.NY"]
+    )
+    def test_small_analogs_valid_and_named(self, name):
+        g = build_analog(name)
+        validate_csr(g)
+        assert g.name == name
+        assert g.num_vertices > 1000
+
+
+class TestTopologyRegimes:
+    def test_road_analog_low_degree_high_diameter_class(self):
+        g = build_analog("USA-road-d.NY")
+        assert g.max_degree() <= 8
+        assert g.average_degree() < 4
+
+    def test_powerlaw_analog_hubs(self):
+        g = build_analog("internet")
+        assert g.max_degree() > 20 * g.average_degree()
+
+    def test_kron_isolated_fraction(self):
+        g = build_analog("kron_g500-logn21")
+        frac = len(g.isolated_vertices()) / g.num_vertices
+        assert 0.05 < frac < 0.5  # the paper reports 26 % at full scale
+
+    def test_grid_analog_degrees(self):
+        g = build_analog("2d-2e20.sym")
+        assert g.max_degree() == 4
+        assert abs(g.average_degree() - 4.0) < 0.1

@@ -1,0 +1,258 @@
+"""Tests for the topology-class generators (determinism, structure)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.generators import (
+    add_isolated_vertices,
+    add_random_edges,
+    add_tendrils,
+    attach_chains,
+    barabasi_albert,
+    broom,
+    citation_graph,
+    copying_model,
+    cycle_graph,
+    delaunay_graph,
+    disjoint_union,
+    drop_random_edges,
+    grid_2d,
+    grid_3d,
+    kronecker,
+    lollipop,
+    path_graph,
+    rmat,
+    road_network,
+    watts_strogatz,
+)
+from repro.graph import connected_components, validate_csr
+
+
+class TestGrid:
+    def test_2d_structure(self):
+        g = grid_2d(4, 5)
+        validate_csr(g)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_2d_degrees(self):
+        g = grid_2d(3, 3)
+        assert g.degree(4) == 4  # centre
+        assert g.degree(0) == 2  # corner
+
+    def test_torus_all_degree_four(self):
+        g = grid_2d(5, 5, periodic=True)
+        assert set(g.degrees.tolist()) == {4}
+
+    def test_3d_structure(self):
+        g = grid_3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert g.degree(13) == 6  # centre of the cube
+
+    def test_invalid(self):
+        with pytest.raises(AlgorithmError):
+            grid_2d(0, 5)
+
+
+class TestRmat:
+    def test_deterministic(self):
+        a = rmat(10, 8, seed=3)
+        b = rmat(10, 8, seed=3)
+        assert (a.indices == b.indices).all()
+
+    def test_seed_changes_graph(self):
+        a = rmat(10, 8, seed=3)
+        b = rmat(10, 8, seed=4)
+        assert a.num_edges != b.num_edges or not (a.indptr == b.indptr).all()
+
+    def test_size(self):
+        g = rmat(10, 8, seed=0)
+        assert g.num_vertices == 1024
+        assert g.num_edges <= 1024 * 8
+        validate_csr(g)
+
+    def test_skew_produces_hubs(self):
+        g = rmat(12, 8, seed=1)
+        assert g.max_degree() > 20 * g.average_degree()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(AlgorithmError):
+            rmat(5, 4, a=0.9, b=0.2, c=0.2)
+
+
+class TestKronecker:
+    def test_has_isolated_vertices(self):
+        g = kronecker(12, 16, seed=0)
+        assert len(g.isolated_vertices()) > 0.05 * g.num_vertices
+
+    def test_deterministic(self):
+        a = kronecker(10, 8, seed=5)
+        b = kronecker(10, 8, seed=5)
+        assert (a.indices == b.indices).all()
+
+    def test_permutation_breaks_id_degree_correlation(self):
+        # In raw RMAT low ids are hubs; after permutation the max-degree
+        # vertex should usually not be vertex 0.
+        hubs = [kronecker(11, 16, seed=s).max_degree_vertex() for s in range(5)]
+        assert any(h != 0 for h in hubs)
+
+
+class TestDelaunay:
+    def test_planar_size_bound(self):
+        g = delaunay_graph(500, seed=1)
+        validate_csr(g)
+        assert g.num_vertices == 500
+        # Planar: m <= 3n - 6.
+        assert g.num_edges <= 3 * 500 - 6
+
+    def test_connected(self):
+        assert connected_components(delaunay_graph(300, seed=2)).is_connected()
+
+    def test_minimum_points(self):
+        with pytest.raises(AlgorithmError):
+            delaunay_graph(2)
+
+
+class TestRoadNetwork:
+    def test_low_degree(self):
+        g = road_network(30, 30, seed=4)
+        assert g.max_degree() <= 4
+        assert g.average_degree() < 4
+
+    def test_chains_present(self):
+        g = road_network(30, 30, chain_fraction=0.3, chain_length=4, seed=5)
+        from repro.graph import degree_two_vertices
+
+        assert len(degree_two_vertices(g)) > 100
+
+    def test_no_subdivision(self):
+        g = road_network(10, 10, chain_fraction=0.0, seed=6)
+        assert g.num_vertices == 100
+
+    def test_keep_all_edges(self):
+        g = road_network(10, 10, edge_keep=1.0, chain_fraction=0.0, seed=0)
+        assert g.num_edges == 2 * 10 * 9
+
+    def test_invalid(self):
+        with pytest.raises(AlgorithmError):
+            road_network(1, 10)
+        with pytest.raises(AlgorithmError):
+            road_network(10, 10, edge_keep=0.0)
+
+
+class TestPowerlaw:
+    def test_ba_minimum_degree(self):
+        g = barabasi_albert(500, 3, seed=7)
+        # Every non-seed vertex connects with >= 1 edge (duplicates merge).
+        assert g.degrees.min() >= 1
+
+    def test_ba_hub(self):
+        g = barabasi_albert(2000, 4, seed=8)
+        assert g.max_degree() > 10 * g.average_degree()
+
+    def test_ba_connected(self):
+        assert connected_components(barabasi_albert(400, 2, seed=9)).is_connected()
+
+    def test_ba_invalid(self):
+        with pytest.raises(AlgorithmError):
+            barabasi_albert(5, 5)
+
+    def test_copying_model_structure(self):
+        g = copying_model(1000, 6, seed=10)
+        validate_csr(g)
+        assert g.num_vertices == 1000
+        assert g.max_degree() > 5 * g.average_degree()
+
+    def test_copying_invalid(self):
+        with pytest.raises(AlgorithmError):
+            copying_model(1000, 6, copy_prob=1.5)
+
+
+class TestWattsStrogatz:
+    def test_lattice_no_rewire(self):
+        g = watts_strogatz(20, 4, 0.0, seed=11)
+        assert set(g.degrees.tolist()) == {4}
+
+    def test_rewire_shrinks_diameter(self):
+        from repro.baselines import naive_diameter
+
+        lattice = watts_strogatz(100, 4, 0.0, seed=12)
+        rewired = watts_strogatz(100, 4, 0.3, seed=12)
+        d_lat = naive_diameter(lattice).diameter
+        d_rew = naive_diameter(rewired).diameter
+        assert d_rew < d_lat
+
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            watts_strogatz(10, 3, 0.1)
+
+
+class TestCitation:
+    def test_structure(self):
+        g = citation_graph(2000, 4.0, seed=13)
+        validate_csr(g)
+        assert g.num_vertices == 2000
+
+    def test_recency_window_respected_shape(self):
+        # High recency → neighbours mostly near in id space.
+        g = citation_graph(3000, 4.0, recency_prob=0.95, window=50, seed=14)
+        gaps = []
+        for v in range(100, 1000, 50):
+            for w in g.neighbors(v):
+                gaps.append(abs(int(w) - v))
+        assert np.median(gaps) < 500
+
+
+class TestChainConstructions:
+    def test_attach_chains_counts(self):
+        g = attach_chains(cycle_graph(10), 3, 4, seed=15)
+        assert g.num_vertices == 10 + 12
+
+    def test_add_tendrils_lengths(self):
+        g = add_tendrils(cycle_graph(10), 5, 2, 6, seed=16)
+        assert 10 + 5 * 2 <= g.num_vertices <= 10 + 5 * 6
+
+    def test_add_tendrils_tips_degree_one(self):
+        from repro.graph import degree_one_vertices
+
+        g = add_tendrils(cycle_graph(12), 4, 3, 3, seed=17)
+        assert len(degree_one_vertices(g)) == 4
+
+    def test_lollipop_diameter(self):
+        from repro.baselines import naive_diameter
+
+        assert naive_diameter(lollipop(5, 4)).diameter == 5
+
+    def test_broom_diameter(self):
+        from repro.baselines import naive_diameter
+
+        assert naive_diameter(broom(6, 3)).diameter == 7
+        assert naive_diameter(broom(1, 4)).diameter == 2
+
+
+class TestPerturbations:
+    def test_add_isolated(self):
+        g = add_isolated_vertices(path_graph(3), 4)
+        assert g.num_vertices == 7
+        assert len(g.isolated_vertices()) == 4
+
+    def test_disjoint_union_offsets(self):
+        g = disjoint_union([path_graph(3), cycle_graph(4)])
+        assert g.num_vertices == 7
+        cc = connected_components(g)
+        assert cc.num_components == 2
+
+    def test_add_random_edges(self):
+        g = add_random_edges(path_graph(50), 30, seed=18)
+        assert g.num_edges >= 49
+
+    def test_drop_random_edges(self):
+        g = drop_random_edges(grid_2d(10, 10), 0.5, seed=19)
+        base = grid_2d(10, 10)
+        assert g.num_edges < base.num_edges
+        assert g.num_vertices == base.num_vertices
+
+    def test_drop_zero_keeps_all(self):
+        g = drop_random_edges(grid_2d(6, 6), 0.0)
+        assert g.num_edges == grid_2d(6, 6).num_edges

@@ -1,0 +1,141 @@
+"""Unit tests for the graph builders (normalization pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph import (
+    from_adjacency,
+    from_edge_arrays,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    validate_csr,
+)
+
+
+class TestFromEdgeArrays:
+    def test_symmetrizes(self):
+        g = from_edge_arrays([0], [1])
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_drops_self_loops(self):
+        g = from_edge_arrays([0, 1, 1], [0, 2, 1], num_vertices=3)
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_deduplicates_parallel_edges(self):
+        g = from_edge_arrays([0, 0, 1, 1], [1, 1, 0, 0])
+        assert g.num_edges == 1
+
+    def test_explicit_num_vertices_keeps_isolated(self):
+        g = from_edge_arrays([0], [1], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.isolated_vertices().tolist() == [2, 3, 4]
+
+    def test_id_exceeding_num_vertices_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_arrays([0], [7], num_vertices=3)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_arrays([-1], [0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_arrays([0, 1], [1])
+
+    def test_empty_edge_list(self):
+        g = from_edge_arrays([], [], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_result_is_valid_csr(self):
+        rng = np.random.default_rng(0)
+        g = from_edge_arrays(
+            rng.integers(0, 50, 300), rng.integers(0, 50, 300)
+        )
+        validate_csr(g)
+
+
+class TestFromEdges:
+    def test_round_trip(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = from_edges(edges)
+        normalized = sorted((min(u, v), max(u, v)) for u, v in edges)
+        assert sorted(g.iter_edges()) == normalized
+
+    def test_empty_iterable(self):
+        g = from_edges([], num_vertices=2)
+        assert g.num_vertices == 2
+
+
+class TestFromAdjacency:
+    def test_mapping_form(self):
+        g = from_adjacency({0: [1, 2], 1: [2]})
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_list_form(self):
+        g = from_adjacency([[1], [0, 2], [1]])
+        assert g.num_edges == 2
+
+    def test_asymmetric_input_symmetrized(self):
+        g = from_adjacency({0: [1]})  # 1 -> 0 not listed
+        assert g.has_edge(1, 0)
+
+    def test_gap_vertex_ids(self):
+        g = from_adjacency({5: [0]})
+        assert g.num_vertices == 6
+        assert g.degree(3) == 0
+
+
+class TestFromScipySparse:
+    def test_coo_round_trip(self):
+        from scipy import sparse
+
+        mat = sparse.coo_matrix(
+            (np.ones(3), ([0, 1, 2], [1, 2, 0])), shape=(4, 4)
+        )
+        g = from_scipy_sparse(mat)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_csr_matrix_input(self):
+        from scipy import sparse
+
+        g = from_scipy_sparse(sparse.eye(3, format="csr", k=1))
+        assert g.num_edges == 2
+
+    def test_non_square_rejected(self):
+        from scipy import sparse
+
+        with pytest.raises(GraphValidationError):
+            from_scipy_sparse(sparse.coo_matrix(np.ones((2, 3))))
+
+
+class TestFromNetworkx:
+    def test_labels_relabelled(self):
+        import networkx as nx
+
+        G = nx.Graph([("a", "b"), ("b", "c")])
+        g = from_networkx(G)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_directed_symmetrized(self):
+        import networkx as nx
+
+        G = nx.DiGraph([(0, 1)])
+        g = from_networkx(G)
+        assert g.has_edge(1, 0)
+
+    def test_structure_matches(self, rng):
+        import networkx as nx
+
+        G = nx.gnp_random_graph(30, 0.2, seed=3)
+        g = from_networkx(G)
+        assert g.num_edges == G.number_of_edges()
+        for u, v in G.edges():
+            assert g.has_edge(u, v)

@@ -1,0 +1,89 @@
+"""Unit tests for connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import random_gnp
+from repro.generators import disjoint_union, grid_2d, path_graph, star_graph
+from repro.graph import (
+    connected_components,
+    empty_graph,
+    from_edges,
+    largest_component_mask,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        cc = connected_components(path_graph(10))
+        assert cc.num_components == 1
+        assert cc.sizes.tolist() == [10]
+        assert cc.is_connected()
+
+    def test_empty_graph(self):
+        cc = connected_components(empty_graph(0))
+        assert cc.num_components == 0
+        assert cc.is_connected()
+
+    def test_all_isolated(self):
+        cc = connected_components(empty_graph(4))
+        assert cc.num_components == 4
+        assert cc.sizes.tolist() == [1, 1, 1, 1]
+
+    def test_two_components_plus_isolated(self):
+        g = from_edges([(0, 1), (2, 3), (3, 4)], num_vertices=6)
+        cc = connected_components(g)
+        assert cc.num_components == 3
+        assert cc.labels[0] == cc.labels[1]
+        assert cc.labels[2] == cc.labels[3] == cc.labels[4]
+        assert cc.labels[5] not in (cc.labels[0], cc.labels[2])
+        assert not cc.is_connected()
+
+    def test_component_ids_ordered_by_smallest_vertex(self):
+        g = from_edges([(4, 5), (0, 1)], num_vertices=6)
+        cc = connected_components(g)
+        assert cc.labels[0] == 0  # component containing vertex 0 gets id 0
+
+    def test_vertices_of(self):
+        g = disjoint_union([path_graph(3), star_graph(4)])
+        cc = connected_components(g)
+        assert cc.vertices_of(0).tolist() == [0, 1, 2]
+        assert cc.vertices_of(1).tolist() == [3, 4, 5, 6]
+
+    def test_largest(self):
+        g = disjoint_union([path_graph(3), path_graph(7), path_graph(2)])
+        cc = connected_components(g)
+        assert cc.largest() == 1
+        assert cc.sizes[cc.largest()] == 7
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        g, G = random_gnp(60, 0.03, seed)
+        cc = connected_components(g)
+        nx_comps = list(nx.connected_components(G))
+        assert cc.num_components == len(nx_comps)
+        assert sorted(cc.sizes.tolist()) == sorted(len(c) for c in nx_comps)
+        # Vertices sharing an nx component share a label and vice versa.
+        for comp in nx_comps:
+            labels = {int(cc.labels[v]) for v in comp}
+            assert len(labels) == 1
+
+    def test_grid_connected(self):
+        cc = connected_components(grid_2d(15, 15))
+        assert cc.is_connected()
+
+
+class TestLargestComponentMask:
+    def test_mask_selects_largest(self):
+        g = disjoint_union([path_graph(2), path_graph(5)])
+        mask = largest_component_mask(g)
+        assert mask.tolist() == [False, False, True, True, True, True, True]
+
+    def test_empty(self):
+        mask = largest_component_mask(empty_graph(0))
+        assert mask.shape == (0,)
+
+    def test_mask_dtype(self):
+        mask = largest_component_mask(path_graph(3))
+        assert mask.dtype == np.bool_

@@ -1,0 +1,106 @@
+"""Unit tests for the CSR graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graph import CSRGraph, from_edges, empty_graph
+
+
+class TestBasicAccessors:
+    def test_sizes(self, tiny_graph):
+        assert tiny_graph.num_vertices == 4
+        assert tiny_graph.num_edges == 5
+        assert tiny_graph.num_directed_edges == 10
+        assert len(tiny_graph) == 4
+
+    def test_neighbors_sorted(self, tiny_graph):
+        assert tiny_graph.neighbors(0).tolist() == [1, 2, 3]
+        assert tiny_graph.neighbors(1).tolist() == [0, 3]
+
+    def test_degree(self, tiny_graph):
+        assert tiny_graph.degree(0) == 3
+        assert tiny_graph.degree(1) == 2
+        assert tiny_graph.degrees.tolist() == [3, 2, 2, 3]
+
+    def test_vertex_out_of_range(self, tiny_graph):
+        with pytest.raises(AlgorithmError):
+            tiny_graph.neighbors(4)
+        with pytest.raises(AlgorithmError):
+            tiny_graph.degree(-1)
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(1, 2)
+
+    def test_iter_edges_each_once(self, tiny_graph):
+        edges = list(tiny_graph.iter_edges())
+        assert len(edges) == 5
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 5
+
+
+class TestDerivedVertices:
+    def test_max_degree_vertex_lowest_id_tie(self, tiny_graph):
+        # Vertices 0 and 3 both have degree 3; lowest id wins.
+        assert tiny_graph.max_degree_vertex() == 0
+        assert tiny_graph.max_degree() == 3
+
+    def test_max_degree_vertex_empty_raises(self):
+        with pytest.raises(AlgorithmError):
+            empty_graph(0).max_degree_vertex()
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree() == pytest.approx(10 / 4)
+
+    def test_isolated_vertices(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        assert g.isolated_vertices().tolist() == [2, 3]
+
+
+class TestImmutability:
+    def test_arrays_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.indptr[0] = 99
+        with pytest.raises(ValueError):
+            tiny_graph.indices[0] = 99
+        with pytest.raises(ValueError):
+            tiny_graph.degrees[0] = 99
+
+    def test_neighbors_view_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.neighbors(0)[0] = 7
+
+
+class TestMisc:
+    def test_with_name_shares_arrays(self, tiny_graph):
+        g2 = tiny_graph.with_name("renamed")
+        assert g2.name == "renamed"
+        assert g2.indices is tiny_graph.indices
+
+    def test_memory_bytes(self, tiny_graph):
+        assert (
+            tiny_graph.memory_bytes()
+            == tiny_graph.indptr.nbytes + tiny_graph.indices.nbytes
+        )
+
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert g.max_degree() == 0
+
+    def test_zero_vertex_graph(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+        assert g.average_degree() == 0.0
+
+    def test_dtype_normalization(self):
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int32),
+            np.array([1, 0], dtype=np.int16),
+        )
+        assert g.indptr.dtype == np.int64
+        assert g.indices.dtype in (np.int32, np.int64)

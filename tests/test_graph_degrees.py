@@ -1,0 +1,63 @@
+"""Unit tests for degree utilities."""
+
+from repro.generators import caterpillar, path_graph, star_graph
+from repro.graph import (
+    degree_histogram,
+    degree_one_vertices,
+    degree_summary,
+    degree_two_vertices,
+    empty_graph,
+    from_edges,
+    vertices_with_degree,
+)
+
+
+class TestDegreeSummary:
+    def test_star(self):
+        s = degree_summary(star_graph(10))
+        assert s.num_vertices == 10
+        assert s.num_edges == 9
+        assert s.max_degree == 9
+        assert s.max_degree_vertex == 0
+        assert s.num_isolated == 0
+        assert s.average_degree == 18 / 10
+
+    def test_with_isolated(self):
+        s = degree_summary(from_edges([(0, 1)], num_vertices=4))
+        assert s.num_isolated == 2
+
+    def test_empty(self):
+        s = degree_summary(empty_graph(0))
+        assert s.max_degree == 0
+        assert s.max_degree_vertex == -1
+        assert s.average_degree == 0.0
+
+    def test_as_row_edge_convention(self):
+        # The paper's Table 1 counts both directions of every edge.
+        row = degree_summary(path_graph(3)).as_row()
+        assert row["edges"] == 4
+
+
+class TestDegreeQueries:
+    def test_histogram(self):
+        h = degree_histogram(star_graph(5))
+        assert h[1] == 4
+        assert h[4] == 1
+
+    def test_histogram_empty(self):
+        assert degree_histogram(empty_graph(0)).tolist() == [0]
+
+    def test_degree_one_path_endpoints(self):
+        assert degree_one_vertices(path_graph(5)).tolist() == [0, 4]
+
+    def test_degree_two_path_interior(self):
+        assert degree_two_vertices(path_graph(5)).tolist() == [1, 2, 3]
+
+    def test_vertices_with_degree(self):
+        g = caterpillar(3, 2)  # spine 0-1-2, legs on each spine vertex
+        legs = vertices_with_degree(g, 1)
+        assert len(legs) == 6
+        assert all(int(v) >= 3 for v in legs)
+
+    def test_no_matches(self):
+        assert vertices_with_degree(path_graph(4), 7).tolist() == []

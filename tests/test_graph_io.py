@@ -1,0 +1,161 @@
+"""Unit tests for graph readers/writers (all four formats)."""
+
+import io
+
+import pytest
+
+from conftest import random_gnp
+from repro.errors import GraphFormatError
+from repro.generators import path_graph, star_graph
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    read_graph,
+    read_metis,
+    save_npz,
+    validate_csr,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+
+def roundtrip(graph, writer, reader):
+    buf = io.StringIO()
+    writer(graph, buf)
+    buf.seek(0)
+    return reader(buf)
+
+
+class TestEdgeList:
+    def test_roundtrip(self):
+        g, _ = random_gnp(25, 0.2, 11)
+        g2 = roundtrip(g, write_edge_list, read_edge_list)
+        assert g2.num_edges == g.num_edges
+        assert sorted(g2.iter_edges()) == sorted(g.iter_edges())
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n% other comment\n0 1\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 2
+
+    def test_extra_columns_tolerated(self):
+        g = read_edge_list(io.StringIO("0 1 weight=3\n"))
+        assert g.num_edges == 1
+
+    def test_bad_line_raises_with_lineno(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_edge_list(io.StringIO("0 1\nnot numbers\n"))
+
+    def test_single_token_line_raises(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(io.StringIO("7\n"))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        g = star_graph(6)
+        path = tmp_path / "star.el"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.num_edges == 5
+        assert g2.name == "star"
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        g, _ = random_gnp(20, 0.25, 12)
+        g2 = roundtrip(g, write_dimacs, read_dimacs)
+        assert sorted(g2.iter_edges()) == sorted(g.iter_edges())
+        assert g2.num_vertices == g.num_vertices
+
+    def test_preserves_trailing_isolated(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        g2 = roundtrip(g, write_dimacs, read_dimacs)
+        assert g2.num_vertices == 4
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError, match="problem line"):
+            read_dimacs(io.StringIO("a 1 2 1\n"))
+
+    def test_zero_based_id_rejected(self):
+        with pytest.raises(GraphFormatError, match="1-based"):
+            read_dimacs(io.StringIO("p sp 2 1\na 0 1 1\n"))
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2\n"))
+
+    def test_comments_skipped(self):
+        g = read_dimacs(io.StringIO("c hello\np sp 3 2\na 1 2 1\na 2 3 1\n"))
+        assert g.num_edges == 2
+
+
+class TestMetis:
+    def test_roundtrip(self):
+        g, _ = random_gnp(18, 0.3, 13)
+        g2 = roundtrip(g, write_metis, read_metis)
+        assert sorted(g2.iter_edges()) == sorted(g.iter_edges())
+
+    def test_isolated_vertices_preserved(self):
+        g = from_edges([(0, 2)], num_vertices=3)
+        g2 = roundtrip(g, write_metis, read_metis)
+        assert g2.num_vertices == 3
+        assert g2.degree(1) == 0
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(io.StringIO(""))
+
+    def test_weighted_format_rejected(self):
+        with pytest.raises(GraphFormatError, match="not supported"):
+            read_metis(io.StringIO("3 2 011\n2\n1 3\n2\n"))
+
+    def test_out_of_range_neighbour(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(io.StringIO("2 1\n5\n\n"))
+
+    def test_too_many_lines_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("1 0\n\n\n2\n"))
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, tmp_path):
+        g, _ = random_gnp(30, 0.2, 14)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert (g2.indptr == g.indptr).all()
+        assert (g2.indices == g.indices).all()
+        assert g2.name == g.name
+        validate_csr(g2)
+
+    def test_missing_keys(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong=np.zeros(3))
+        with pytest.raises(GraphFormatError, match="missing"):
+            load_npz(path)
+
+
+class TestReadGraphDispatch:
+    def test_dispatch_by_extension(self, tmp_path):
+        g = path_graph(4)
+        for suffix, writer in (
+            (".el", write_edge_list),
+            (".gr", write_dimacs),
+            (".graph", write_metis),
+        ):
+            p = tmp_path / f"g{suffix}"
+            writer(g, p)
+            g2 = read_graph(p)
+            assert g2.num_edges == 3, suffix
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        assert read_graph(p).num_edges == 3
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="unknown graph file extension"):
+            read_graph(tmp_path / "g.xyz")

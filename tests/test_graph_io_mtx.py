@@ -1,0 +1,133 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import io
+
+import pytest
+
+from conftest import random_gnp
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    read_graph,
+    read_matrix_market,
+    validate_csr,
+    write_matrix_market,
+)
+from repro.generators import path_graph, star_graph
+
+
+def roundtrip(graph):
+    buf = io.StringIO()
+    write_matrix_market(graph, buf)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_exact(self):
+        g, _ = random_gnp(25, 0.2, 71)
+        g2 = roundtrip(g)
+        validate_csr(g2)
+        assert g2.num_vertices == g.num_vertices
+        assert (g2.indices == g.indices).all()
+
+    def test_isolated_vertices_preserved(self):
+        g = from_edges([(0, 2)], num_vertices=5)
+        assert roundtrip(g).num_vertices == 5
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=3)
+        g2 = roundtrip(g)
+        assert g2.num_vertices == 3
+        assert g2.num_edges == 0
+
+    def test_read_graph_dispatch(self, tmp_path):
+        g = star_graph(6)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_graph(path).num_edges == 5
+
+
+class TestReaderFlexibility:
+    def test_general_symmetry_accepted(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "3 3 2\n"
+            "1 2 5\n"
+            "2 3 7\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 2
+
+    def test_values_ignored(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 1\n"
+            "2 1 3.14\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.has_edge(0, 1)
+
+    def test_comments_between_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% SuiteSparse-style comment block\n"
+            "2 2 1\n"
+            "% another comment\n"
+            "1 2\n"
+        )
+        assert read_matrix_market(io.StringIO(text)).num_edges == 1
+
+
+class TestReaderErrors:
+    def test_missing_banner(self):
+        with pytest.raises(GraphFormatError, match="banner"):
+            read_matrix_market(io.StringIO("3 3 0\n"))
+
+    def test_array_format_rejected(self):
+        with pytest.raises(GraphFormatError, match="coordinate"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_skew_symmetric_rejected(self):
+        with pytest.raises(GraphFormatError, match="symmetry"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 0\n"
+                )
+            )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphFormatError, match="square"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate pattern general\n2 3 0\n")
+            )
+
+    def test_index_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n"
+                )
+            )
+
+    def test_entry_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="expected 2 entries"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n"
+                )
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(GraphFormatError, match="size line"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate pattern general\n% c\n")
+            )
+
+    def test_diameter_after_mtx(self):
+        import repro
+
+        g = path_graph(12)
+        assert repro.fdiam(roundtrip(g)).diameter == 11

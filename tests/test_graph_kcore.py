@@ -1,0 +1,105 @@
+"""Tests for the k-core decomposition."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import random_gnp, to_nx
+from repro.errors import AlgorithmError
+from repro.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    lollipop,
+    path_graph,
+    star_graph,
+)
+from repro.graph import empty_graph
+from repro.graph.kcore import core_numbers, degeneracy, k_core_mask
+
+
+class TestKnownCores:
+    def test_path(self):
+        dec = core_numbers(path_graph(6))
+        assert dec.core.tolist() == [1] * 6
+        assert dec.degeneracy == 1
+
+    def test_cycle(self):
+        assert core_numbers(cycle_graph(7)).core.tolist() == [2] * 7
+
+    def test_star_leaves_core_one(self):
+        dec = core_numbers(star_graph(8))
+        assert dec.core[0] == 1  # the hub peels with its leaves
+        assert (dec.core[1:] == 1).all()
+
+    def test_complete(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_lollipop_core_vs_stem(self):
+        g = lollipop(6, 4)
+        dec = core_numbers(g)
+        assert dec.core[:6].min() == 5  # clique part
+        assert dec.core[-1] == 1  # stem tip
+
+    def test_isolated_vertices(self):
+        dec = core_numbers(empty_graph(4))
+        assert dec.core.tolist() == [0] * 4
+
+    def test_empty_graph(self):
+        dec = core_numbers(empty_graph(0))
+        assert dec.degeneracy == 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g, G = random_gnp(50, 0.04 + 0.03 * (seed % 4), seed + 1600)
+        ours = core_numbers(g).core
+        theirs = nx.core_number(G)
+        for v in range(50):
+            assert ours[v] == theirs[v], v
+
+    def test_powerlaw(self):
+        g = barabasi_albert(400, 3, seed=33)
+        ours = core_numbers(g).core
+        theirs = nx.core_number(to_nx(g))
+        assert all(ours[v] == theirs[v] for v in range(400))
+
+
+class TestPeelOrderAndMask:
+    def test_peel_order_is_permutation(self):
+        g, _ = random_gnp(30, 0.15, 1700)
+        dec = core_numbers(g)
+        assert sorted(dec.peel_order.tolist()) == list(range(30))
+
+    def test_peel_order_core_monotone(self):
+        # Core numbers along the peel order never decrease... they can
+        # oscillate within a shell, but the *shell index* (core number
+        # at removal) is non-decreasing.
+        g, _ = random_gnp(40, 0.12, 1701)
+        dec = core_numbers(g)
+        shells = dec.core[dec.peel_order]
+        assert (np.diff(shells) >= 0).all()
+
+    def test_k_core_mask(self):
+        g = lollipop(5, 3)
+        mask = k_core_mask(g, 4)
+        assert mask[:5].all()
+        assert not mask[5:].any()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(AlgorithmError):
+            k_core_mask(path_graph(3), -1)
+
+    def test_paper_claim_hubs_are_core(self):
+        # §3: high-degree vertices tend to be core vertices. On a
+        # power-law graph the max-degree vertex is in the deepest core.
+        g = barabasi_albert(1000, 4, seed=34)
+        dec = core_numbers(g)
+        assert dec.core[g.max_degree_vertex()] == dec.degeneracy
+
+    def test_paper_claim_degree1_peripheral(self):
+        g = lollipop(8, 5)
+        dec = core_numbers(g)
+        tip = g.num_vertices - 1
+        assert dec.core[tip] == dec.core.min()

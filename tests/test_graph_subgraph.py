@@ -1,0 +1,75 @@
+"""Unit tests for induced-subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from conftest import random_gnp, to_nx
+from repro.errors import AlgorithmError
+from repro.graph import (
+    component_subgraph,
+    connected_components,
+    from_edges,
+    induced_subgraph,
+    validate_csr,
+)
+from repro.generators import disjoint_union, path_graph
+
+
+class TestInducedSubgraph:
+    def test_by_ids(self):
+        g = path_graph(5)
+        sub = induced_subgraph(g, np.array([1, 2, 3]))
+        assert sub.graph.num_vertices == 3
+        assert sub.graph.num_edges == 2
+        assert sub.to_parent.tolist() == [1, 2, 3]
+
+    def test_by_mask(self):
+        g = path_graph(4)
+        mask = np.array([True, True, False, True])
+        sub = induced_subgraph(g, mask)
+        assert sub.graph.num_edges == 1  # only 0-1 survives
+        assert sub.from_parent.tolist() == [0, 1, -1, 2]
+
+    def test_mapping_roundtrip(self):
+        g, G = random_gnp(40, 0.15, 9)
+        keep = np.arange(0, 40, 2)
+        sub = induced_subgraph(g, keep)
+        for new_id, old_id in enumerate(sub.to_parent):
+            assert sub.from_parent[old_id] == new_id
+
+    def test_edges_match_oracle(self):
+        g, G = random_gnp(30, 0.2, 4)
+        keep = np.array(sorted(np.random.default_rng(1).choice(30, 12, replace=False)))
+        sub = induced_subgraph(g, keep)
+        validate_csr(sub.graph)
+        H = G.subgraph(keep.tolist())
+        assert sub.graph.num_edges == H.number_of_edges()
+
+    def test_empty_selection(self):
+        sub = induced_subgraph(path_graph(3), np.array([], dtype=np.int64))
+        assert sub.graph.num_vertices == 0
+
+    def test_bad_mask_length(self):
+        with pytest.raises(AlgorithmError):
+            induced_subgraph(path_graph(3), np.array([True, False]))
+
+    def test_out_of_range_id(self):
+        with pytest.raises(AlgorithmError):
+            induced_subgraph(path_graph(3), np.array([5]))
+
+
+class TestComponentSubgraph:
+    def test_extract_component(self):
+        g = disjoint_union([path_graph(3), path_graph(4)])
+        cc = connected_components(g)
+        sub = component_subgraph(g, cc.vertices_of(1))
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 3
+
+    def test_subgraph_structure_preserved(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (3, 4)])
+        cc = connected_components(g)
+        tri = component_subgraph(g, cc.vertices_of(0))
+        assert tri.num_vertices == 3
+        assert tri.num_edges == 3
+        assert to_nx(tri).number_of_edges() == 3

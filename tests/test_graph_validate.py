@@ -1,0 +1,80 @@
+"""Unit tests for CSR structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph import CSRGraph, from_edges, is_symmetric, validate_csr
+
+
+def make_raw(indptr, indices):
+    return CSRGraph(np.asarray(indptr), np.asarray(indices))
+
+
+class TestValidateCSR:
+    def test_builder_output_valid(self, tiny_graph):
+        validate_csr(tiny_graph)
+
+    def test_empty_graph_valid(self):
+        validate_csr(make_raw([0], []))
+        validate_csr(make_raw([0, 0, 0], []))
+
+    def test_indptr_must_start_at_zero(self):
+        g = make_raw([1, 2], [0])
+        with pytest.raises(GraphValidationError, match="start with 0"):
+            validate_csr(g)
+
+    def test_indptr_tail_must_match_indices(self):
+        g = make_raw([0, 5], [1])
+        with pytest.raises(GraphValidationError, match="len"):
+            validate_csr(g)
+
+    def test_column_out_of_range(self):
+        g = make_raw([0, 1, 2], [1, 5])
+        with pytest.raises(GraphValidationError, match="out of range"):
+            validate_csr(g)
+
+    def test_self_loop_detected(self):
+        g = make_raw([0, 1, 2], [0, 1])
+        with pytest.raises(GraphValidationError, match="self-loop"):
+            validate_csr(g)
+
+    def test_unsorted_row_detected(self):
+        # Vertex 0 adjacent to 2 then 1 (unsorted).
+        g = make_raw([0, 2, 3, 4], [2, 1, 0, 0])
+        with pytest.raises(GraphValidationError, match="strictly increasing"):
+            validate_csr(g)
+
+    def test_duplicate_neighbour_detected(self):
+        g = make_raw([0, 2, 4], [1, 1, 0, 0])
+        with pytest.raises(GraphValidationError, match="strictly increasing"):
+            validate_csr(g)
+
+    def test_asymmetry_detected(self):
+        # 0 -> 1 without 1 -> 0.
+        g = make_raw([0, 1, 1], [1])
+        with pytest.raises(GraphValidationError, match="not symmetric"):
+            validate_csr(g)
+
+
+class TestIsSymmetric:
+    def test_symmetric(self, tiny_graph):
+        assert is_symmetric(tiny_graph)
+
+    def test_asymmetric(self):
+        assert not is_symmetric(make_raw([0, 1, 1], [1]))
+
+    def test_empty(self):
+        assert is_symmetric(make_raw([0, 0], []))
+
+    def test_random_builder_graphs_symmetric(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            g = from_edges(
+                (
+                    (int(rng.integers(0, 20)), int(rng.integers(0, 20)))
+                    for _ in range(40)
+                ),
+                num_vertices=20,
+            )
+            assert is_symmetric(g)

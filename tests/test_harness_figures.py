@@ -1,0 +1,57 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.harness import line_series, log_bar_chart, stacked_percent_bars
+
+
+class TestLogBarChart:
+    def test_bars_scale_with_log_value(self):
+        text = log_bar_chart(
+            "F", {"g": {"a": 10.0, "b": 100000.0}}
+        )
+        lines = {ln.strip().split()[0]: ln for ln in text.splitlines() if "|" in ln}
+        assert lines["a"].count("#") < lines["b"].count("#")
+
+    def test_timeout_rendered(self):
+        text = log_bar_chart("F", {"g": {"a": 0.0}})
+        assert "T/O" in text
+
+    def test_values_printed(self):
+        text = log_bar_chart("F", {"g": {"a": 1234.0}})
+        assert "1,234" in text
+
+    def test_title(self):
+        text = log_bar_chart("My Figure", {})
+        assert text.startswith("My Figure")
+
+
+class TestLineSeries:
+    def test_points_rendered(self):
+        text = line_series("S", [(1, 100.0), (2, 200.0)])
+        assert "1" in text and "200" in text
+
+    def test_monotone_bars(self):
+        text = line_series("S", [(1, 10.0), (2, 10000.0)])
+        bar_lines = [ln for ln in text.splitlines() if "|" in ln]
+        assert bar_lines[0].count("#") < bar_lines[1].count("#")
+
+
+class TestStackedPercentBars:
+    def test_legend_and_shares(self):
+        text = stacked_percent_bars(
+            "B", {"g": {"ecc_bfs": 0.75, "winnow": 0.25}}
+        )
+        assert "legend" in text
+        assert "75%" in text and "25%" in text
+
+    def test_zero_total_row(self):
+        text = stacked_percent_bars("B", {"g": {"x": 0.0}})
+        assert "g" in text
+
+    def test_multiple_rows_aligned(self):
+        text = stacked_percent_bars(
+            "B",
+            {"aa": {"x": 1.0}, "bbbb": {"x": 0.5, "y": 0.5}},
+        )
+        bar_lines = [ln for ln in text.splitlines() if "|" in ln]
+        starts = {ln.index("|") for ln in bar_lines}
+        assert len(starts) == 1

@@ -1,0 +1,73 @@
+"""Consistency tests for the transcribed paper data."""
+
+import pytest
+
+from repro.generators import PAPER_ANALOGS
+from repro.harness.paper_data import (
+    PAPER_HEADLINES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    compare_direction,
+)
+
+
+class TestTablesCoverAllInputs:
+    @pytest.mark.parametrize(
+        "table", [PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5]
+    )
+    def test_same_inputs_as_registry(self, table):
+        assert set(table) == set(PAPER_ANALOGS)
+
+
+class TestInternalConsistency:
+    def test_table1_matches_registry_metadata(self):
+        for name, (vertices, _, _, _, diameter) in PAPER_TABLE1.items():
+            spec = PAPER_ANALOGS[name]
+            assert spec.paper_vertices == vertices
+            assert spec.paper_diameter == diameter
+
+    def test_table2_fdiam_never_times_out(self):
+        for row in PAPER_TABLE2.values():
+            assert row["F-Diam (ser)"] is not None
+            assert row["F-Diam (par)"] is not None
+
+    def test_table2_parallel_at_least_as_fast(self):
+        # Paper §6.1: "Our parallel code ... outperforms our serial
+        # version on each input."
+        for name, row in PAPER_TABLE2.items():
+            assert row["F-Diam (par)"] <= row["F-Diam (ser)"], name
+
+    def test_table3_timeouts_match_table2(self):
+        for name, row in PAPER_TABLE3.items():
+            ifub_t2 = PAPER_TABLE2[name]["iFUB (ser)"]
+            assert (row["iFUB"] is None) == (ifub_t2 is None), name
+
+    def test_table4_rows_sum_to_about_100(self):
+        # The evaluated-vertex remainder is sub-percent everywhere.
+        for name, row in PAPER_TABLE4.items():
+            total = sum(row.values())
+            assert 99.0 <= total <= 100.01, (name, total)
+
+    def test_table5_full_fdiam_matches_table3(self):
+        for name, row in PAPER_TABLE5.items():
+            assert row["F-Diam"] == PAPER_TABLE3[name]["F-Diam"], name
+
+    def test_headline_ablation_ordering(self):
+        # §6.5: Winnow removal hurts most, then 'u', then Eliminate.
+        h = PAPER_HEADLINES
+        assert (
+            h["no_winnow_relative_speed"]
+            < h["no_u_relative_speed"]
+            < h["no_eliminate_relative_speed"]
+        )
+
+
+class TestCompareDirection:
+    def test_all_four_cases(self):
+        assert compare_direction(None, None) == "both T/O"
+        assert compare_direction(None, 1.0) == "paper T/O, we finish"
+        assert compare_direction(1.0, None) == "we T/O, paper finishes"
+        assert compare_direction(1.0, 2.0) == "both finish"

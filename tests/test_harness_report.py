@@ -1,0 +1,33 @@
+"""Tests for the one-shot report generator."""
+
+from repro.harness import SuiteConfig
+from repro.harness.report import generate_report
+
+
+class TestGenerateReport:
+    def test_tiny_report_contains_every_section(self):
+        config = SuiteConfig(
+            inputs=("internet", "USA-road-d.NY"), repeats=1, timeout_s=60
+        )
+        report = generate_report(config, echo=False)
+        for heading in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Overall ranking",
+        ):
+            assert heading in report, heading
+        assert "internet" in report
+        assert report.startswith("# F-Diam reproduction")
+
+    def test_report_is_markdown_with_code_fences(self):
+        config = SuiteConfig(inputs=("internet",), repeats=1, timeout_s=60)
+        report = generate_report(config, echo=False)
+        assert report.count("```") % 2 == 0
+        assert "## " in report

@@ -1,0 +1,62 @@
+"""Tests for the timed benchmark runner."""
+
+import time
+
+import pytest
+
+from repro.errors import BenchmarkTimeout
+from repro.generators import path_graph
+from repro.harness import TimedRun, run_timed
+
+
+def fast_algorithm(graph, deadline=None):
+    return {"diameter": graph.num_vertices - 1}
+
+
+def slow_algorithm(graph, deadline=None):
+    while True:
+        if deadline is not None and time.perf_counter() > deadline:
+            raise BenchmarkTimeout("too slow")
+        time.sleep(0.005)
+
+
+class TestRunTimed:
+    def test_fast_run_records_median(self):
+        run = run_timed("fast", fast_algorithm, path_graph(10), repeats=3, timeout_s=5)
+        assert not run.timed_out
+        assert run.median_seconds < 1
+        assert run.result == {"diameter": 9}
+        assert run.algorithm == "fast"
+        assert run.graph_name == path_graph(10).name
+
+    def test_timeout_marks_to(self):
+        run = run_timed("slow", slow_algorithm, path_graph(5), repeats=3, timeout_s=0.05)
+        assert run.timed_out
+        assert run.median_seconds == float("inf")
+        assert run.result is None
+        assert run.throughput == 0.0
+
+    def test_throughput(self):
+        run = TimedRun("x", "g", 1000, 0.5, None, False)
+        assert run.throughput == 2000.0
+
+    def test_budget_shared_across_repeats(self):
+        # Each call takes ~30ms; budget 0.1s: at most ~3 calls fit, the
+        # loop must stop without raising once some durations exist.
+        calls = []
+
+        def medium(graph, deadline=None):
+            calls.append(1)
+            time.sleep(0.03)
+            return "ok"
+
+        run = run_timed("m", medium, path_graph(3), repeats=50, timeout_s=0.1)
+        assert not run.timed_out
+        assert len(calls) < 50
+
+    def test_kwargs_forwarded(self):
+        def algo(graph, deadline=None, mode="a"):
+            return mode
+
+        run = run_timed("k", algo, path_graph(3), repeats=1, timeout_s=5, mode="b")
+        assert run.result == "b"

@@ -1,0 +1,90 @@
+"""Tests for table rendering and throughput aggregation."""
+
+import pytest
+
+from repro.harness import (
+    TimedRun,
+    format_cell,
+    geomean_throughput,
+    pairwise_speedup,
+    render_table,
+    speedup_range,
+)
+
+
+class TestFormatCell:
+    def test_timeout_sentinel(self):
+        assert format_cell(float("inf")) == "T/O"
+
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_float_three_decimals(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_tiny_float_scientific(self):
+        assert format_cell(1e-5) == "1.00e-05"
+
+    def test_int_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+
+
+class TestRenderTable:
+    def test_alignment_and_missing(self):
+        text = render_table(
+            "T", ["name", "val"], [{"name": "a", "val": 1}, {"name": "bb"}]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "val" in lines[2]
+        assert lines[-1].startswith("bb")
+        assert lines[-1].rstrip().endswith("-")
+
+    def test_empty_rows(self):
+        text = render_table("Empty", ["a"], [])
+        assert "Empty" in text
+
+
+def run(name, graph, tput, timed_out=False):
+    seconds = float("inf") if timed_out else 1.0 / tput
+    return TimedRun(name, graph, 1, seconds, None, timed_out)
+
+
+class TestThroughputRules:
+    def test_geomean(self):
+        runs = [run("x", "g1", 10.0), run("x", "g2", 1000.0)]
+        assert geomean_throughput(runs) == pytest.approx(100.0)
+
+    def test_geomean_excludes_timeouts(self):
+        runs = [run("x", "g1", 10.0), run("x", "g2", 1.0, timed_out=True)]
+        assert geomean_throughput(runs) == pytest.approx(10.0)
+
+    def test_geomean_empty(self):
+        assert geomean_throughput([]) == 0.0
+
+    def test_pairwise_footnote2_rule(self):
+        # Speedup computed only over inputs where NEITHER code timed out.
+        fast = [run("f", "g1", 100.0), run("f", "g2", 100.0)]
+        slow = [run("s", "g1", 10.0), run("s", "g2", 1.0, timed_out=True)]
+        assert pairwise_speedup(fast, slow) == pytest.approx(10.0)
+
+    def test_pairwise_no_common(self):
+        fast = [run("f", "g1", 100.0)]
+        slow = [run("s", "g1", 1.0, timed_out=True)]
+        assert pairwise_speedup(fast, slow) == 0.0
+
+    def test_speedup_range(self):
+        fast = [run("f", "g1", 100.0), run("f", "g2", 30.0)]
+        slow = [run("s", "g1", 10.0), run("s", "g2", 10.0)]
+        worst, best = speedup_range(fast, slow)
+        assert worst == pytest.approx(3.0)
+        assert best == pytest.approx(10.0)
+
+    def test_speedup_range_empty(self):
+        assert speedup_range([], []) == (0.0, 0.0)

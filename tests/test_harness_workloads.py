@@ -1,0 +1,34 @@
+"""Tests for the benchmark workload layer."""
+
+from repro.harness import (
+    ALL_INPUTS,
+    FAST_INPUTS,
+    HIGH_DIAMETER_INPUTS,
+    SMALL_WORLD_INPUTS,
+    get_workload,
+    iter_workloads,
+)
+
+
+class TestWorkloadSets:
+    def test_all_inputs_complete(self):
+        assert len(ALL_INPUTS) == 17
+
+    def test_regimes_partition(self):
+        assert set(SMALL_WORLD_INPUTS) | set(HIGH_DIAMETER_INPUTS) == set(ALL_INPUTS)
+        assert not set(SMALL_WORLD_INPUTS) & set(HIGH_DIAMETER_INPUTS)
+
+    def test_fast_subset_valid(self):
+        assert set(FAST_INPUTS) <= set(ALL_INPUTS)
+
+
+class TestGetWorkload:
+    def test_metadata_attached(self):
+        wl = get_workload("internet")
+        assert wl.name == "internet"
+        assert wl.spec.paper_vertices == 124_651
+        assert wl.graph.num_vertices > 0
+
+    def test_iter_default_order(self):
+        names = [wl.name for wl in iter_workloads(FAST_INPUTS)]
+        assert names == list(FAST_INPUTS)

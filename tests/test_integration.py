@@ -1,0 +1,139 @@
+"""Cross-module integration tests.
+
+Each test exercises a realistic multi-module flow: file I/O feeding the
+algorithms, component analysis feeding subgraph extraction feeding
+diameter computation, all algorithms agreeing end-to-end on nontrivial
+generated inputs, and the examples staying runnable.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from conftest import nx_cc_diameter, to_nx
+from repro.baselines import (
+    bounding_diameters,
+    graph_diameter,
+    ifub_diameter,
+    korf_diameter,
+    naive_diameter,
+)
+from repro.core import ABLATIONS, FDiamConfig
+from repro.generators import (
+    attach_chains,
+    add_isolated_vertices,
+    citation_graph,
+    delaunay_graph,
+    disjoint_union,
+    grid_2d,
+    kronecker,
+    rmat,
+    road_network,
+    watts_strogatz,
+)
+from repro.graph import (
+    component_subgraph,
+    connected_components,
+    read_graph,
+    save_npz,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def all_algorithms():
+    return [
+        ("fdiam-par", lambda g: repro.fdiam(g).diameter),
+        ("fdiam-ser", lambda g: repro.fdiam(g, FDiamConfig(engine="serial")).diameter),
+        ("naive", lambda g: naive_diameter(g).diameter),
+        ("ifub", lambda g: ifub_diameter(g).diameter),
+        ("graph-diameter", lambda g: graph_diameter(g).diameter),
+        ("korf", lambda g: korf_diameter(g).diameter),
+        ("bounding", lambda g: bounding_diameters(g).diameter),
+    ]
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: grid_2d(9, 14),
+            lambda: watts_strogatz(300, 4, 0.05, seed=61),
+            lambda: rmat(8, 6, seed=62),
+            lambda: kronecker(8, 8, seed=63),
+            lambda: citation_graph(400, 3.5, seed=64),
+            lambda: road_network(12, 12, seed=65),
+            lambda: delaunay_graph(250, seed=66),
+            lambda: attach_chains(watts_strogatz(150, 4, 0.1, seed=67), 5, 6, seed=67),
+            lambda: add_isolated_vertices(grid_2d(6, 6), 4),
+            lambda: disjoint_union([grid_2d(5, 5), watts_strogatz(60, 4, 0.2, seed=68)]),
+        ],
+        ids=[
+            "grid", "smallworld", "rmat", "kron", "citation", "road",
+            "delaunay", "chains", "isolated", "disconnected",
+        ],
+    )
+    def test_seven_algorithms_one_answer(self, make_graph):
+        g = make_graph()
+        expected = nx_cc_diameter(to_nx(g))
+        for name, fn in all_algorithms():
+            assert fn(g) == expected, name
+
+
+class TestIOToAlgorithmPipeline:
+    def test_diameter_invariant_under_io_roundtrip(self, tmp_path):
+        g = road_network(15, 15, seed=70)
+        baseline = repro.fdiam(g).diameter
+        for suffix, writer in [
+            (".el", write_edge_list),
+            (".gr", write_dimacs),
+            (".graph", write_metis),
+            (".npz", save_npz),
+        ]:
+            path = tmp_path / f"g{suffix}"
+            writer(g, path)
+            loaded = read_graph(path)
+            assert repro.fdiam(loaded).diameter == baseline, suffix
+
+    def test_component_pipeline(self):
+        g = disjoint_union([grid_2d(7, 7), watts_strogatz(80, 4, 0.1, seed=71)])
+        whole = repro.fdiam(g)
+        assert whole.infinite
+        cc = connected_components(g)
+        per_component = max(
+            repro.fdiam(component_subgraph(g, cc.vertices_of(c))).diameter
+            for c in range(cc.num_components)
+        )
+        assert per_component == whole.diameter
+
+
+class TestAblationConsistencyOnRealisticInputs:
+    @pytest.mark.parametrize("variant", list(ABLATIONS))
+    def test_variant_agrees_on_road(self, variant):
+        g = road_network(14, 14, seed=72)
+        assert (
+            repro.fdiam(g, ABLATIONS[variant]).diameter
+            == repro.fdiam(g).diameter
+        )
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "file_formats_and_components.py"],
+    )
+    def test_example_exits_cleanly(self, script):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()

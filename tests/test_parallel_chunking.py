@@ -1,0 +1,65 @@
+"""Tests for worklist chunking and thread-work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.parallel import assign_round_robin, chunk_bounds, thread_work
+
+
+class TestChunkBounds:
+    def test_exact_multiple(self):
+        assert chunk_bounds(8, 4).tolist() == [0, 4, 8]
+
+    def test_remainder_chunk(self):
+        assert chunk_bounds(10, 4).tolist() == [0, 4, 8, 10]
+
+    def test_single_chunk(self):
+        assert chunk_bounds(3, 10).tolist() == [0, 3]
+
+    def test_empty(self):
+        assert chunk_bounds(0, 4).tolist() == [0]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(AlgorithmError):
+            chunk_bounds(5, 0)
+
+
+class TestAssignRoundRobin:
+    def test_owner_pattern(self):
+        a = assign_round_robin(12, num_threads=3, chunk_size=2)
+        assert a.num_chunks == 6
+        assert a.owner.tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_chunks_of(self):
+        a = assign_round_robin(12, num_threads=3, chunk_size=2)
+        assert a.chunks_of(1).tolist() == [1, 4]
+
+    def test_more_threads_than_chunks(self):
+        a = assign_round_robin(4, num_threads=8, chunk_size=4)
+        assert a.num_chunks == 1
+        assert a.owner.tolist() == [0]
+
+    def test_invalid_threads(self):
+        with pytest.raises(AlgorithmError):
+            assign_round_robin(4, num_threads=0)
+
+
+class TestThreadWork:
+    def test_uniform_weights(self):
+        a = assign_round_robin(8, num_threads=2, chunk_size=2)
+        work = thread_work(a, np.ones(8, dtype=np.int64))
+        assert work.tolist() == [4, 4]
+
+    def test_skewed_weights(self):
+        # One heavy item makes its owner the critical path.
+        a = assign_round_robin(4, num_threads=2, chunk_size=1)
+        weights = np.array([100, 1, 1, 1])
+        work = thread_work(a, weights)
+        assert work.tolist() == [101, 2]
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(0, 50, size=37)
+        a = assign_round_robin(37, num_threads=5, chunk_size=4)
+        assert thread_work(a, weights).sum() == weights.sum()

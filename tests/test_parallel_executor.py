@@ -1,0 +1,61 @@
+"""Tests for the simulated chunked executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.parallel import ChunkedExecutor
+
+
+class TestMapChunks:
+    def test_results_in_order(self):
+        ex = ChunkedExecutor(num_threads=3, chunk_size=2)
+        out = ex.map_chunks(lambda chunk: chunk.sum(), np.arange(7))
+        assert [int(x) for x in out] == [1, 5, 9, 6]
+
+    def test_results_independent_of_thread_count(self):
+        items = np.arange(20)
+        kernel = lambda chunk: chunk.tolist()
+        outs = [
+            ChunkedExecutor(num_threads=t, chunk_size=4).map_chunks(kernel, items)
+            for t in (1, 2, 8)
+        ]
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_accounting(self):
+        ex = ChunkedExecutor(num_threads=2, chunk_size=2)
+        ex.map_chunks(lambda c: None, np.arange(8), weights=np.ones(8, dtype=int))
+        step = ex.history[0]
+        assert step.total_work == 8
+        assert step.critical_path == 4
+        assert step.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_detected(self):
+        ex = ChunkedExecutor(num_threads=2, chunk_size=1)
+        weights = np.array([10, 0, 10, 0])
+        ex.map_chunks(lambda c: None, np.arange(4), weights=weights)
+        assert ex.history[0].imbalance == pytest.approx(2.0)
+
+    def test_weight_length_mismatch(self):
+        ex = ChunkedExecutor()
+        with pytest.raises(AlgorithmError):
+            ex.map_chunks(lambda c: None, np.arange(4), weights=np.ones(3))
+
+    def test_critical_path_totals(self):
+        ex = ChunkedExecutor(num_threads=4, chunk_size=1)
+        for _ in range(3):
+            ex.map_chunks(lambda c: None, np.arange(4), weights=np.ones(4, dtype=int))
+        assert ex.total_critical_path() == 3
+        assert ex.total_work() == 12
+        ex.reset()
+        assert ex.total_work() == 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(AlgorithmError):
+            ChunkedExecutor(num_threads=0)
+
+    def test_empty_items(self):
+        ex = ChunkedExecutor(num_threads=2)
+        out = ex.map_chunks(lambda c: len(c), np.array([]))
+        assert out == []
+        assert ex.history[0].total_work == 0

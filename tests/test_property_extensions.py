@@ -1,0 +1,90 @@
+"""Property-based invariants of the extension modules (hypothesis).
+
+Cross-checks the approximation, spectrum, k-core, and coverage-analysis
+modules against each other and against the exact algorithms on random
+graphs: every estimate interval must contain the exact diameter, the
+spectrum's maximum must equal F-Diam's answer, every k-core must
+actually have minimum internal degree k, and winnow coverage must match
+a direct distance computation.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.bfs import serial_distances
+from repro.core import eccentricity_spectrum, four_sweep_estimate, two_sweep_estimate
+from repro.core.analysis import winnow_coverage
+from repro.graph import from_edge_arrays, induced_subgraph
+from repro.graph.kcore import core_numbers, k_core_mask
+
+
+@st.composite
+def random_graphs(draw, max_n=26):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return from_edge_arrays(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m), num_vertices=n
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_estimates_bracket_exact_diameter(g):
+    """Both estimators' intervals contain the exact (CC) diameter when
+    started inside the largest-eccentricity component; on arbitrary
+    graphs their lower bound never exceeds it."""
+    exact = repro.fdiam(g).diameter
+    for estimator in (two_sweep_estimate, four_sweep_estimate):
+        est = estimator(g)
+        assert est.lower <= exact
+        if est.component_size == g.num_vertices:  # connected: full bracket
+            assert est.lower <= exact <= est.upper
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_spectrum_consistent_with_fdiam_and_theorems(g):
+    spec = eccentricity_spectrum(g)
+    assert spec.diameter == repro.fdiam(g).diameter
+    # Theorem 1 on the exact spectrum.
+    for u, v in g.iter_edges():
+        assert abs(int(spec.eccentricities[u]) - int(spec.eccentricities[v])) <= 1
+    # Periphery vertices realize the diameter.
+    if spec.diameter > 0:
+        assert (spec.eccentricities[spec.periphery] == spec.diameter).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs(), st.integers(min_value=1, max_value=5))
+def test_k_core_has_min_degree_k(g, k):
+    """The defining property: the induced k-core has min degree >= k."""
+    mask = k_core_mask(g, k)
+    if not mask.any():
+        return
+    sub = induced_subgraph(g, mask).graph
+    assert int(sub.degrees.min()) >= k
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_core_number_at_most_degree(g):
+    dec = core_numbers(g)
+    assert (dec.core <= g.degrees).all()
+    # Core numbers are 0 exactly on isolated vertices.
+    assert ((dec.core == 0) == (g.degrees == 0)).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), st.integers(min_value=0, max_value=8))
+def test_winnow_coverage_matches_distances(g, bound):
+    if g.num_vertices == 0:
+        return
+    center = int(g.max_degree_vertex())
+    cov = winnow_coverage(g, center, bound)
+    dist = serial_distances(g, center)
+    expected = int(np.count_nonzero((dist > 0) & (dist <= bound // 2)))
+    assert cov.covered == expected
+    assert cov.fraction == expected / g.num_vertices

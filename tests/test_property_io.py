@@ -1,0 +1,101 @@
+"""Property-based round-trip tests for all graph file formats."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    from_edge_arrays,
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    save_npz,
+    validate_csr,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=24):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return from_edge_arrays(
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        num_vertices=n,
+        name="fuzz",
+    )
+
+
+def text_roundtrip(graph, writer, reader):
+    buf = io.StringIO()
+    writer(graph, buf)
+    buf.seek(0)
+    return reader(buf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_edge_list_roundtrip_exact(g):
+    g2 = text_roundtrip(g, write_edge_list, read_edge_list)
+    validate_csr(g2)
+    assert g2.num_vertices == g.num_vertices
+    assert (g2.indptr == g.indptr).all()
+    assert (g2.indices == g.indices).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_dimacs_roundtrip_exact(g):
+    g2 = text_roundtrip(g, write_dimacs, read_dimacs)
+    validate_csr(g2)
+    assert g2.num_vertices == g.num_vertices
+    assert (g2.indices == g.indices).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_metis_roundtrip_exact(g):
+    g2 = text_roundtrip(g, write_metis, read_metis)
+    validate_csr(g2)
+    assert g2.num_vertices == g.num_vertices
+    assert (g2.indices == g.indices).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_npz_roundtrip_exact(g):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+    assert g2.name == g.name
+    assert (g2.indptr == g.indptr).all()
+    assert (g2.indices == g.indices).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_formats_agree_on_diameter(g):
+    """The same graph read back from any format yields the same diameter."""
+    import repro
+
+    if g.num_vertices == 0:
+        return
+    baseline = repro.fdiam(g).diameter
+    for writer, reader in (
+        (write_edge_list, read_edge_list),
+        (write_dimacs, read_dimacs),
+        (write_metis, read_metis),
+    ):
+        g2 = text_roundtrip(g, writer, reader)
+        assert repro.fdiam(g2).diameter == baseline
