@@ -8,7 +8,7 @@ run multiple rounds, unlike the single-shot experiment reproductions).
 
 import pytest
 
-from repro.bfs import VisitMarks, run_bfs, serial_bfs
+from repro.bfs import TraversalKernel, VisitMarks, run_bfs, serial_bfs
 from repro.core import FDiamConfig, FDiamState, fdiam, winnow
 from repro.harness import get_workload
 
@@ -41,6 +41,30 @@ def test_serial_bfs_powerlaw(benchmark, powerlaw_graph):
 def test_vectorized_bfs_road(benchmark, road_graph):
     marks = VisitMarks(road_graph.num_vertices)
     result = benchmark(run_bfs, road_graph, 0, marks)
+    assert result.eccentricity > 0
+
+
+@pytest.mark.benchmark(group="micro-bfs")
+def test_kernel_pooled_bfs_powerlaw(benchmark, powerlaw_graph):
+    """Persistent kernel with distance recording: the pooled workspace
+    must serve repeated traversals from recycled buffers (the reuse hit
+    rate is asserted, so a pooling regression fails the benchmark)."""
+    kernel = TraversalKernel(powerlaw_graph)
+
+    def pooled_bfs():
+        res = kernel.bfs(0, record_dist=True)
+        kernel.workspace.release_dist(res.dist)
+        return res
+
+    result = benchmark(pooled_bfs)
+    assert result.eccentricity > 0
+    assert kernel.workspace.stats.hit_rate > 0.5
+
+
+@pytest.mark.benchmark(group="micro-bfs")
+def test_kernel_batched_bfs_powerlaw(benchmark, powerlaw_graph):
+    kernel = TraversalKernel(powerlaw_graph, engine="batched")
+    result = benchmark(kernel.bfs, 0)
     assert result.eccentricity > 0
 
 

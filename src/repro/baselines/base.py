@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bfs.eccentricity import Engine, get_engine
+from repro.bfs.eccentricity import Engine
+from repro.bfs.kernel import TraversalKernel
 from repro.errors import AlgorithmError, BenchmarkTimeout
 from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
@@ -49,7 +50,13 @@ class BaselineResult:
 
 
 class BaselineContext:
-    """Per-run helper bundling the engine, BFS counter, and deadline."""
+    """Per-run helper bundling a traversal kernel, BFS counter, and deadline.
+
+    All baselines share one :class:`~repro.bfs.kernel.TraversalKernel`
+    per run, so they benefit from the same pooled workspace (epoch
+    marks, recycled distance buffers) as the F-Diam driver, and the
+    kernel's per-level deadline checks bound even a single huge BFS.
+    """
 
     def __init__(
         self,
@@ -61,12 +68,10 @@ class BaselineContext:
             raise AlgorithmError("diameter of an empty graph is undefined")
         self.graph = graph
         self.engine_name = engine
-        self.bfs = get_engine(engine)
         self.deadline = deadline
         self.bfs_count = 0
-        from repro.bfs.visited import VisitMarks
-
-        self.marks = VisitMarks(graph.num_vertices)
+        self.kernel = TraversalKernel(graph, engine=engine, deadline=deadline)
+        self.marks = self.kernel.workspace.marks
 
     def check_deadline(self) -> None:
         """Raise :class:`BenchmarkTimeout` once the deadline has passed."""
@@ -79,7 +84,11 @@ class BaselineContext:
         """One counted BFS through the configured engine."""
         self.check_deadline()
         self.bfs_count += 1
-        return self.bfs(self.graph, source, self.marks, record_dist=record_dist)
+        return self.kernel.bfs(source, record_dist=record_dist)
+
+    def release_dist(self, dist) -> None:
+        """Recycle a finished distance buffer into the workspace pool."""
+        self.kernel.workspace.release_dist(dist)
 
     def result(self, algorithm: str, diameter: int, connected: bool) -> BaselineResult:
         """Package a finished run."""

@@ -48,6 +48,7 @@ def _midpoint(ctx: BaselineContext, a: int, dist_a: np.ndarray, b: int) -> int:
     d_ab = int(dist_a[b])
     on_path = (dist_a >= 0) & (dist_b >= 0) & (dist_a + dist_b == d_ab)
     half = np.flatnonzero(on_path & (dist_a == d_ab // 2))
+    ctx.release_dist(dist_b)
     return int(half[0]) if len(half) else a
 
 
@@ -58,19 +59,21 @@ def four_sweep(ctx: BaselineContext, start: int) -> tuple[int, int]:
     bound. Performs 4 eccentricity BFS calls plus the midpoint-locating
     distance BFS calls.
     """
-    r1 = ctx.run_bfs(start, record_dist=True)
+    r1 = ctx.run_bfs(start)
     a1 = int(r1.last_frontier[0])
     r2 = ctx.run_bfs(a1, record_dist=True)
     b1 = int(r2.last_frontier[0])
     lb = r2.eccentricity
     m1 = _midpoint(ctx, a1, r2.dist, b1)
+    ctx.release_dist(r2.dist)
 
-    r3 = ctx.run_bfs(m1, record_dist=True)
+    r3 = ctx.run_bfs(m1)
     a2 = int(r3.last_frontier[0])
     r4 = ctx.run_bfs(a2, record_dist=True)
     b2 = int(r4.last_frontier[0])
     lb = max(lb, r4.eccentricity)
     m2 = _midpoint(ctx, a2, r4.dist, b2)
+    ctx.release_dist(r4.dist)
     return m2, lb
 
 
@@ -97,6 +100,7 @@ def _ifub_component(ctx: BaselineContext, vertices: np.ndarray) -> int:
             ecc_v = ctx.run_bfs(int(v)).eccentricity
             if ecc_v > lb:
                 lb = ecc_v
+    ctx.release_dist(dist_u)
     return lb
 
 

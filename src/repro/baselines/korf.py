@@ -29,15 +29,13 @@ from repro.baselines.base import (
     component_representatives,
 )
 from repro.bfs.eccentricity import Engine
-from repro.bfs.topdown import topdown_step
 from repro.graph.csr import CSRGraph
 
 __all__ = ["korf_diameter"]
 
 
 def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
-    graph = ctx.graph
-    n = graph.num_vertices
+    n = ctx.graph.num_vertices
     in_s = np.zeros(n, dtype=bool)
     in_s[vertices] = True
     remaining = len(vertices)
@@ -48,23 +46,22 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
         if remaining <= 1:
             break
         ctx.check_deadline()
-        # Partial BFS from v that stops once every member of S is seen.
+        # Partial BFS from v that stops once every member of S is seen —
+        # the kernel's level callback implements the early termination.
         ctx.bfs_count += 1
-        marks = ctx.marks
-        marks.new_epoch()
-        marks.visit(v)
         to_find = remaining - (1 if in_s[v] else 0)
-        frontier = np.array([v], dtype=np.int64)
-        level = 0
-        while len(frontier) and to_find > 0:
-            frontier, _ = topdown_step(graph, frontier, marks)
-            if len(frontier) == 0:
-                break
-            level += 1
+        state = {"best": best, "to_find": to_find}
+
+        def on_level(level: int, frontier: np.ndarray) -> object:
             hits = int(np.count_nonzero(in_s[frontier]))
             if hits:
-                best = max(best, level)
-                to_find -= hits
+                state["best"] = max(state["best"], level)
+                state["to_find"] -= hits
+            return False if state["to_find"] <= 0 else None
+
+        if to_find > 0:
+            ctx.kernel.levels([v], None, on_level=on_level)
+        best = state["best"]
         in_s[v] = False
         remaining -= 1
     return best

@@ -68,6 +68,7 @@ def _component_diameter(
         dist_sum[reached] += dist[reached]
         ecc_lb[source] = ecc_ub[source] = ecc_s
         swept[source] = True
+        ctx.release_dist(dist)
 
     # --- SumSweep seeding phase ---------------------------------------
     degrees = graph.degrees[vertices]

@@ -76,6 +76,7 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
         )
         np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
         ecc_lb[v] = ecc_ub[v] = ecc_v
+        ctx.release_dist(dist)
 
 
 def bounding_diameters(

@@ -1,18 +1,24 @@
 """Level-synchronous BFS engines.
 
-Contains the direction-optimized hybrid traversal the paper builds
-F-Diam on (:func:`run_bfs`), the partial/multi-source traversals behind
-Winnow/Eliminate (:func:`partial_bfs_levels`, :func:`ball`), the
-counter-based visited marks (:class:`VisitMarks`), the scalar reference
-engine (:func:`serial_bfs`), and traversal instrumentation.
+The traversal surface is unified behind
+:class:`~repro.bfs.kernel.TraversalKernel` (full direction-optimized
+BFS, batched multi-source level expansion, staggered waves) with a
+pooled :class:`~repro.bfs.kernel.Workspace` of scratch buffers. The
+single-shot helpers (:func:`run_bfs`, :func:`partial_bfs_levels`,
+:func:`ball`), the counter-based visited marks (:class:`VisitMarks`),
+the scalar reference engine (:func:`serial_bfs`), the open engine
+registry (:func:`register_engine` / :func:`get_engine`), and traversal
+instrumentation all build on it.
 """
 
 from repro.bfs.bottomup import bottomup_step
 from repro.bfs.eccentricity import (
     Engine,
     all_eccentricities,
+    available_engines,
     eccentricity,
     get_engine,
+    register_engine,
 )
 from repro.bfs.frontier import (
     frontier_edge_count,
@@ -27,6 +33,7 @@ from repro.bfs.instrumentation import (
     LevelTrace,
     TraversalCounter,
 )
+from repro.bfs.kernel import TraversalKernel, Workspace, WorkspaceStats
 from repro.bfs.partial import ball, partial_bfs_levels
 from repro.bfs.reference import serial_bfs, serial_distances
 from repro.bfs.topdown import topdown_step
@@ -40,8 +47,12 @@ __all__ = [
     "Engine",
     "LevelTrace",
     "TraversalCounter",
+    "TraversalKernel",
     "VisitMarks",
+    "Workspace",
+    "WorkspaceStats",
     "all_eccentricities",
+    "available_engines",
     "ball",
     "bottomup_step",
     "eccentricity",
@@ -50,6 +61,7 @@ __all__ = [
     "gather_rows",
     "get_engine",
     "partial_bfs_levels",
+    "register_engine",
     "row_any",
     "run_bfs",
     "serial_bfs",

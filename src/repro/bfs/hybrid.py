@@ -10,59 +10,26 @@ BFS implementations".
 The traversal doubles as the eccentricity primitive: the number of
 levels that discover at least one vertex *is* the source's eccentricity
 within its connected component (Algorithm 2 returns ``level - 1``).
+
+The level loop itself lives in :class:`repro.bfs.kernel.TraversalKernel`
+(the shared kernel every stage and baseline routes through);
+:func:`run_bfs` is the single-shot convenience wrapper that builds an
+ephemeral kernel around the caller's marks. Long-running callers should
+hold a kernel directly so the pooled workspace buffers get reused.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.bfs.bottomup import bottomup_step
-from repro.bfs.instrumentation import BFSTrace, Direction
-from repro.bfs.topdown import topdown_step
+from repro.bfs.kernel import (
+    DEFAULT_THRESHOLD,
+    BFSResult,
+    TraversalKernel,
+    Workspace,
+)
 from repro.bfs.visited import VisitMarks
-from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["BFSResult", "run_bfs", "DEFAULT_THRESHOLD"]
-
-#: Frontier-size fraction above which the engine goes bottom-up
-#: (paper Section 4.6: "We experimentally determined a threshold of 10%
-#: of the number of vertices to yield good performance").
-DEFAULT_THRESHOLD = 0.10
-
-
-@dataclass(frozen=True)
-class BFSResult:
-    """Outcome of one complete (or level-capped) BFS traversal.
-
-    Attributes
-    ----------
-    source:
-        Starting vertex.
-    eccentricity:
-        Number of levels that discovered vertices — the eccentricity of
-        ``source`` within its connected component (or the depth reached,
-        if the traversal was level-capped).
-    visited_count:
-        Vertices reached, including the source.
-    last_frontier:
-        The vertices of the deepest non-empty level; ``last_frontier[0]``
-        is the paper's choice of "farthest vertex" for the 2-sweep.
-    dist:
-        Distance array (``-1`` for unreached vertices) if requested via
-        ``record_dist``, else ``None``.
-    trace:
-        Per-level instrumentation if requested, else ``None``.
-    """
-
-    source: int
-    eccentricity: int
-    visited_count: int
-    last_frontier: np.ndarray
-    dist: np.ndarray | None = None
-    trace: BFSTrace | None = None
 
 
 def run_bfs(
@@ -104,59 +71,15 @@ def run_bfs(
     -------
     BFSResult
     """
-    n = graph.num_vertices
-    if not 0 <= source < n:
-        raise AlgorithmError(f"BFS source {source} out of range [0, {n})")
-    if marks is None:
-        marks = VisitMarks(n)
-    marks.new_epoch()
-    marks.visit(source)
-
-    dist = np.full(n, -1, dtype=np.int64) if record_dist else None
-    if dist is not None:
-        dist[source] = 0
-    trace = BFSTrace(source=source) if record_trace else None
-
-    frontier = np.array([source], dtype=np.int64)
-    frontier_flag = np.zeros(n, dtype=bool) if directions else None
-    size_threshold = threshold * n
-    visited = 1
-    level = 0
-    last_nonempty = frontier
-
-    while len(frontier):
-        if max_level is not None and level >= max_level:
-            break
-        level += 1
-        if directions and len(frontier) > size_threshold:
-            frontier_flag[:] = False
-            frontier_flag[frontier] = True
-            next_frontier, edges = bottomup_step(graph, frontier_flag, marks)
-            direction = Direction.BOTTOM_UP
-        else:
-            next_frontier, edges = topdown_step(graph, frontier, marks)
-            direction = Direction.TOP_DOWN
-        if trace is not None:
-            trace.record(
-                frontier_size=len(frontier),
-                edges_examined=edges,
-                direction=direction,
-                discovered=len(next_frontier),
-            )
-        if len(next_frontier) == 0:
-            level -= 1  # this level discovered nothing
-            break
-        if dist is not None:
-            dist[next_frontier] = level
-        visited += len(next_frontier)
-        last_nonempty = next_frontier
-        frontier = next_frontier
-
-    return BFSResult(
-        source=source,
-        eccentricity=level,
-        visited_count=visited,
-        last_frontier=last_nonempty,
-        dist=dist,
-        trace=trace,
+    kernel = TraversalKernel(
+        graph,
+        threshold=threshold,
+        directions=directions,
+        workspace=Workspace(graph.num_vertices, marks=marks),
+    )
+    return kernel.bfs(
+        source,
+        max_level=max_level,
+        record_dist=record_dist,
+        record_trace=record_trace,
     )

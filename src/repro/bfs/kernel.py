@@ -1,0 +1,564 @@
+"""The shared traversal kernel every stage, baseline, and benchmark uses.
+
+Every stage of F-Diam — 2-sweep, Winnow, Chain Processing, Eliminate,
+the incremental extension, and the main eccentricity loop — ultimately
+runs a level-synchronous BFS, as do all of the baseline diameter codes.
+Historically each of them hand-rolled its own frontier loop and
+allocated fresh scratch arrays per call; this module centralizes the
+whole traversal surface behind two objects:
+
+* :class:`Workspace` — per-graph pooled scratch state: the counter-based
+  :class:`~repro.bfs.visited.VisitMarks` (the paper's ``counter``
+  parameter), the bottom-up frontier flag array, and a free list of
+  distance buffers. Pooling removes the per-BFS ``O(n)`` allocation
+  cost that the paper's counter trick exists to avoid, and records
+  reuse statistics (peak scratch bytes, buffer-reuse hit rate) for the
+  ``--workspace-stats`` report.
+
+* :class:`TraversalKernel` — a graph-bound facade exposing the full
+  traversal surface: direction-optimized full BFS (:meth:`bfs`, paper
+  Algorithm 2 / §4.6), level-capped batched multi-source BFS
+  (:meth:`levels`, the primitive behind Winnow / Eliminate / the §4.5
+  extension), and the staggered multi-source wave
+  (:meth:`staggered_wave`) that Chain Processing injects its anchors
+  into. The top-down and bottom-up modules act as direction-step
+  strategies invoked by the kernel; an optional deadline is checked at
+  every level so even a single huge traversal aborts within one level
+  of the budget expiring.
+
+The single-shot helpers in :mod:`repro.bfs.hybrid` and
+:mod:`repro.bfs.partial` remain as thin wrappers that build an
+ephemeral kernel, so existing call sites and the engine registry keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bfs.bottomup import bottomup_step
+from repro.bfs.instrumentation import BFSTrace, Direction
+from repro.bfs.topdown import topdown_step
+from repro.bfs.visited import VisitMarks
+from repro.errors import AlgorithmError, BenchmarkTimeout
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "BFSResult",
+    "DEFAULT_THRESHOLD",
+    "Workspace",
+    "WorkspaceStats",
+    "TraversalKernel",
+]
+
+#: Frontier-size fraction above which the engine goes bottom-up
+#: (paper Section 4.6: "We experimentally determined a threshold of 10%
+#: of the number of vertices to yield good performance").
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Outcome of one complete (or level-capped) BFS traversal.
+
+    Attributes
+    ----------
+    source:
+        Starting vertex.
+    eccentricity:
+        Number of levels that discovered vertices — the eccentricity of
+        ``source`` within its connected component (or the depth reached,
+        if the traversal was level-capped).
+    visited_count:
+        Vertices reached, including the source.
+    last_frontier:
+        The vertices of the deepest non-empty level; ``last_frontier[0]``
+        is the paper's choice of "farthest vertex" for the 2-sweep.
+    dist:
+        Distance array (``-1`` for unreached vertices) if requested via
+        ``record_dist``, else ``None``. The array may come from the
+        workspace's buffer pool; hand it back via
+        :meth:`Workspace.release_dist` once it is no longer needed.
+    trace:
+        Per-level instrumentation if requested, else ``None``.
+    """
+
+    source: int
+    eccentricity: int
+    visited_count: int
+    last_frontier: np.ndarray
+    dist: np.ndarray | None = None
+    trace: BFSTrace | None = None
+
+
+@dataclass
+class WorkspaceStats:
+    """Scratch-buffer accounting of one :class:`Workspace`.
+
+    ``buffer_requests`` counts every time a traversal needed a pooled
+    scratch buffer (bottom-up frontier flag or distance array);
+    ``buffer_reuses`` counts how many of those were served from the pool
+    without allocating. ``peak_scratch_bytes`` is the high-water mark of
+    all scratch memory owned by the workspace (visit marks included).
+    """
+
+    buffer_requests: int = 0
+    buffer_reuses: int = 0
+    allocated_bytes: int = 0
+    peak_scratch_bytes: int = 0
+    epochs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of buffer requests served without an allocation."""
+        if self.buffer_requests == 0:
+            return 0.0
+        return self.buffer_reuses / self.buffer_requests
+
+    def _record_alloc(self, nbytes: int) -> None:
+        self.allocated_bytes += nbytes
+        self.peak_scratch_bytes = max(self.peak_scratch_bytes, self.allocated_bytes)
+
+
+class Workspace:
+    """Pooled per-graph traversal scratch state.
+
+    One instance is created per algorithm run (F-Diam state, baseline
+    context, spectrum computation, ...) and shared by every traversal
+    of that run, exactly like the paper threads its ``counter``
+    parameter through Algorithms 1–5 — extended here to *all* per-BFS
+    scratch, not just the visited marks.
+    """
+
+    __slots__ = ("num_vertices", "marks", "stats", "_flag", "_dist_pool")
+
+    def __init__(self, num_vertices: int, marks: VisitMarks | None = None):
+        if marks is not None and len(marks) != num_vertices:
+            raise AlgorithmError(
+                f"workspace size {num_vertices} does not match marks of "
+                f"size {len(marks)}"
+            )
+        self.num_vertices = num_vertices
+        self.stats = WorkspaceStats()
+        self.marks = marks if marks is not None else VisitMarks(num_vertices)
+        self.stats._record_alloc(self.marks.marks.nbytes)
+        #: Lazily allocated boolean frontier flag for bottom-up steps.
+        self._flag: np.ndarray | None = None
+        #: Free list of released distance buffers.
+        self._dist_pool: list[np.ndarray] = []
+
+    def new_epoch(self) -> int:
+        """Start a fresh traversal epoch on the shared marks."""
+        self.stats.epochs += 1
+        return self.marks.new_epoch()
+
+    def frontier_flag(self) -> np.ndarray:
+        """The pooled bottom-up frontier flag (contents unspecified).
+
+        Callers must fully reinitialize it (``flag[:] = False``) before
+        use; the bottom-up step does exactly that each level.
+        """
+        self.stats.buffer_requests += 1
+        if self._flag is None:
+            self._flag = np.zeros(self.num_vertices, dtype=bool)
+            self.stats._record_alloc(self._flag.nbytes)
+        else:
+            self.stats.buffer_reuses += 1
+        return self._flag
+
+    def acquire_dist(self) -> np.ndarray:
+        """A distance buffer pre-filled with ``-1``, pooled when possible."""
+        self.stats.buffer_requests += 1
+        if self._dist_pool:
+            self.stats.buffer_reuses += 1
+            dist = self._dist_pool.pop()
+            dist.fill(-1)
+            return dist
+        dist = np.full(self.num_vertices, -1, dtype=np.int64)
+        self.stats._record_alloc(dist.nbytes)
+        return dist
+
+    def release_dist(self, dist: np.ndarray | None) -> None:
+        """Return a distance buffer to the pool for reuse.
+
+        Accepts ``None`` and foreign arrays gracefully so callers can
+        unconditionally recycle ``result.dist``. The pool is capped at
+        a handful of buffers; traversal patterns never hold more than
+        two distance arrays at once (the midpoint computations), so a
+        larger pool would only pin memory.
+        """
+        if (
+            dist is not None
+            and dist.dtype == np.int64
+            and len(dist) == self.num_vertices
+            and len(self._dist_pool) < 4
+        ):
+            self._dist_pool.append(dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workspace(n={self.num_vertices}, epoch={self.marks.counter}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+
+class TraversalKernel:
+    """Graph-bound traversal facade with a pooled :class:`Workspace`.
+
+    Parameters
+    ----------
+    graph:
+        The graph all traversals of this kernel run on.
+    engine:
+        Default execution engine for :meth:`bfs`: ``"parallel"``
+        (vectorized direction-optimized hybrid) or any other name
+        registered with :func:`repro.bfs.eccentricity.register_engine`
+        (``"serial"``, ``"batched"``).
+    threshold:
+        Frontier-size fraction of ``|V|`` at which the hybrid goes
+        bottom-up.
+    directions:
+        ``False`` forces pure top-down in the hybrid.
+    workspace:
+        Shared scratch state; a private one is created when omitted.
+    deadline:
+        Optional ``time.perf_counter()`` instant. Every level loop in
+        the kernel checks it and raises
+        :class:`~repro.errors.BenchmarkTimeout`, so even one huge
+        traversal (2-sweep, Winnow, Extend) aborts within a level of
+        the budget expiring.
+    """
+
+    __slots__ = ("graph", "engine", "threshold", "directions", "workspace", "deadline")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        engine: str = "parallel",
+        threshold: float = DEFAULT_THRESHOLD,
+        directions: bool = True,
+        workspace: Workspace | None = None,
+        deadline: float | None = None,
+    ):
+        self.graph = graph
+        self.engine = engine
+        self.threshold = threshold
+        self.directions = directions
+        self.workspace = workspace or Workspace(graph.num_vertices)
+        if self.workspace.num_vertices != graph.num_vertices:
+            raise AlgorithmError(
+                "workspace/graph size mismatch: "
+                f"{self.workspace.num_vertices} != {graph.num_vertices}"
+            )
+        self.deadline = deadline
+
+    # ------------------------------------------------------------------
+    # Deadline
+    # ------------------------------------------------------------------
+    def check_deadline(self) -> None:
+        """Raise :class:`BenchmarkTimeout` once the deadline has passed."""
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise BenchmarkTimeout("traversal kernel exceeded its time budget")
+
+    # ------------------------------------------------------------------
+    # Full (or level-capped) single-source BFS
+    # ------------------------------------------------------------------
+    def bfs(
+        self,
+        source: int,
+        *,
+        max_level: int | None = None,
+        record_dist: bool = False,
+        record_trace: bool = False,
+    ) -> BFSResult:
+        """One complete (or level-capped) BFS through the configured engine."""
+        if self.engine == "parallel":
+            return self._hybrid_bfs(
+                source,
+                max_level=max_level,
+                record_dist=record_dist,
+                record_trace=record_trace,
+            )
+        if self.engine == "batched":
+            return self._batched_bfs(
+                source, max_level=max_level, record_dist=record_dist
+            )
+        from repro.bfs.eccentricity import get_engine
+
+        return get_engine(self.engine)(
+            self.graph,
+            source,
+            self.workspace.marks,
+            max_level=max_level,
+            record_dist=record_dist,
+        )
+
+    def _hybrid_bfs(
+        self,
+        source: int,
+        *,
+        max_level: int | None,
+        record_dist: bool,
+        record_trace: bool,
+    ) -> BFSResult:
+        """Direction-optimized BFS (the paper's Algorithm 2 / §4.6)."""
+        graph, ws = self.graph, self.workspace
+        n = graph.num_vertices
+        if not 0 <= source < n:
+            raise AlgorithmError(f"BFS source {source} out of range [0, {n})")
+        marks = ws.marks
+        ws.new_epoch()
+        marks.visit(source)
+
+        dist = ws.acquire_dist() if record_dist else None
+        if dist is not None:
+            dist[source] = 0
+        trace = BFSTrace(source=source) if record_trace else None
+
+        frontier = np.array([source], dtype=np.int64)
+        size_threshold = self.threshold * n
+        visited = 1
+        level = 0
+        last_nonempty = frontier
+
+        while len(frontier):
+            if max_level is not None and level >= max_level:
+                break
+            self.check_deadline()
+            level += 1
+            if self.directions and len(frontier) > size_threshold:
+                flag = ws.frontier_flag()
+                flag[:] = False
+                flag[frontier] = True
+                next_frontier, edges = bottomup_step(graph, flag, marks)
+                direction = Direction.BOTTOM_UP
+            else:
+                next_frontier, edges = topdown_step(graph, frontier, marks)
+                direction = Direction.TOP_DOWN
+            if trace is not None:
+                trace.record(
+                    frontier_size=len(frontier),
+                    edges_examined=edges,
+                    direction=direction,
+                    discovered=len(next_frontier),
+                )
+            if len(next_frontier) == 0:
+                level -= 1  # this level discovered nothing
+                break
+            if dist is not None:
+                dist[next_frontier] = level
+            visited += len(next_frontier)
+            last_nonempty = next_frontier
+            frontier = next_frontier
+
+        return BFSResult(
+            source=source,
+            eccentricity=level,
+            visited_count=visited,
+            last_frontier=last_nonempty,
+            dist=dist,
+            trace=trace,
+        )
+
+    def _batched_bfs(
+        self, source: int, *, max_level: int | None, record_dist: bool
+    ) -> BFSResult:
+        """Single-source BFS through the batched multi-source machinery.
+
+        A structurally independent engine (one source, the
+        :meth:`levels` code path) used by the equivalence tests to
+        cross-check the multi-source primitive against the hybrid and
+        scalar engines.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= source < n:
+            raise AlgorithmError(f"BFS source {source} out of range [0, {n})")
+        dist = self.workspace.acquire_dist() if record_dist else None
+        if dist is not None:
+            dist[source] = 0
+
+        def fill_dist(depth: int, vertices: np.ndarray) -> None:
+            if dist is not None:
+                dist[vertices] = depth
+
+        levels = self.levels([source], max_level, on_level=fill_dist)
+        visited = 1 + sum(len(level) for level in levels)
+        last = levels[-1] if levels else np.array([source], dtype=np.int64)
+        return BFSResult(
+            source=source,
+            eccentricity=len(levels),
+            visited_count=visited,
+            last_frontier=last,
+            dist=dist,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched multi-source level expansion (Winnow / Eliminate / Extend)
+    # ------------------------------------------------------------------
+    def levels(
+        self,
+        sources: Sequence[int] | np.ndarray,
+        max_level: int | None,
+        *,
+        marks: VisitMarks | None = None,
+        new_epoch: bool = True,
+        mark_sources: bool = True,
+        on_level: Callable[[int, np.ndarray], object] | None = None,
+    ) -> list[np.ndarray]:
+        """Expand up to ``max_level`` BFS levels from a set of sources.
+
+        This is the batched multi-source primitive behind Winnow
+        (Algorithm 3), Eliminate (Algorithm 5), and the §4.5 extension
+        of eliminated regions: the whole seed set advances as ONE
+        level-synchronous wave, so the cost is independent of the
+        number of seeds. Expansion runs top-down: pruning frontiers
+        are either small (Eliminate) or dominated by first-touch work
+        (Winnow), and the paper's Algorithms 3/5 use plain top-down
+        worklists as well.
+
+        Parameters
+        ----------
+        sources:
+            One or more starting vertices (deduplicated).
+        max_level:
+            Number of levels to expand; ``0`` returns immediately and
+            ``None`` runs to exhaustion.
+        marks:
+            Visited-marks override (Winnow passes its persistent
+            boolean ball marks); defaults to the workspace marks.
+        new_epoch:
+            Start a fresh epoch on the marks (disable for persistent
+            marks that must survive across calls).
+        mark_sources:
+            Whether the sources themselves are marked visited (disable
+            when resuming from an already-marked frontier).
+        on_level:
+            Optional ``callback(depth, vertices)`` invoked for each
+            discovered level (depth counts from 1). Returning the
+            literal ``False`` stops the expansion early — Korf's
+            baseline uses this for its active-set early termination.
+
+        Returns
+        -------
+        list of arrays
+            ``result[k]`` holds the vertices first discovered at depth
+            ``k + 1`` from the source set; sources are not included.
+        """
+        n = self.graph.num_vertices
+        use_ws_marks = marks is None
+        if use_ws_marks:
+            marks = self.workspace.marks
+        sources = np.unique(np.asarray(sources, dtype=np.int64))
+        if len(sources) and (sources[0] < 0 or sources[-1] >= n):
+            raise AlgorithmError(f"partial BFS source out of range [0, {n})")
+        if new_epoch:
+            if use_ws_marks:
+                self.workspace.new_epoch()
+            else:
+                marks.new_epoch()
+        if mark_sources:
+            marks.visit(sources)
+
+        levels: list[np.ndarray] = []
+        frontier = sources
+        level = 0
+        while len(frontier):
+            if max_level is not None and level >= max_level:
+                break
+            self.check_deadline()
+            next_frontier, _ = topdown_step(self.graph, frontier, marks)
+            if len(next_frontier) == 0:
+                break
+            levels.append(next_frontier)
+            frontier = next_frontier
+            level += 1
+            if on_level is not None and on_level(level, next_frontier) is False:
+                break
+        return levels
+
+    # ------------------------------------------------------------------
+    # Staggered multi-source wave (Chain Processing)
+    # ------------------------------------------------------------------
+    def staggered_wave(
+        self,
+        injections: Mapping[int, Sequence[int] | np.ndarray],
+        num_steps: int,
+        *,
+        marks: VisitMarks | None = None,
+        on_discover: Callable[[int, np.ndarray], object] | None = None,
+    ) -> int:
+        """Multi-source wave with per-step source injection.
+
+        Chain Processing's batched Algorithm 4: the anchor of a
+        length-``s`` chain enters the frontier at offset
+        ``max_len - s``, so one wave realizes the element-wise minimum
+        of all per-chain Eliminate writes (see
+        :mod:`repro.core.chain`). ``injections[step]`` seeds new
+        sources right before step ``step`` expands; ``on_discover``
+        receives every first-touched vertex with its wave depth
+        (injected sources at their injection step, expanded vertices
+        one past the step that discovered them).
+
+        Returns the number of vertices discovered (injected sources
+        included).
+        """
+        use_ws_marks = marks is None
+        if use_ws_marks:
+            marks = self.workspace.marks
+            self.workspace.new_epoch()
+        else:
+            marks.new_epoch()
+        discovered = 0
+        frontier = np.empty(0, dtype=np.int64)
+        for step in range(num_steps + 1):
+            injected = injections.get(step)
+            if injected is not None:
+                arr = np.unique(np.asarray(injected, dtype=np.int64))
+                fresh = arr[~marks.is_visited(arr)]
+                if len(fresh):
+                    marks.visit(fresh)
+                    discovered += len(fresh)
+                    if on_discover is not None:
+                        on_discover(step, fresh)
+                    frontier = np.concatenate([frontier, fresh])
+            if step == num_steps:
+                break
+            self.check_deadline()
+            if len(frontier):
+                frontier, _ = topdown_step(self.graph, frontier, marks)
+                if len(frontier):
+                    discovered += len(frontier)
+                    if on_discover is not None:
+                        on_discover(step + 1, frontier)
+        return discovered
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+    def ball(
+        self, center: int, radius: int, *, include_center: bool = True
+    ) -> np.ndarray:
+        """All vertices within ``radius`` steps of ``center`` (sorted)."""
+        levels = self.levels([center], radius)
+        parts = levels + (
+            [np.array([center], dtype=np.int64)] if include_center else []
+        )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def eccentricity(self, vertex: int) -> int:
+        """Eccentricity of ``vertex`` within its connected component."""
+        return self.bfs(vertex).eccentricity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraversalKernel(graph={self.graph.name!r}, engine={self.engine!r}, "
+            f"n={self.graph.num_vertices})"
+        )

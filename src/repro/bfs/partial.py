@@ -11,11 +11,11 @@ These are the traversal shapes behind F-Diam's pruning machinery:
   partial BFS seeded with every vertex whose recorded bound equals the
   old diameter bound, run for ``new_bound − old_bound`` levels.
 
-All three reduce to :func:`partial_bfs_levels`, which returns the
-discovered vertices level by level so callers can attach per-level
-metadata. Traversals run top-down: pruning frontiers are either small
-(Eliminate) or their cost is dominated by first-touch work (Winnow), and
-the paper's Algorithm 3/5 use plain top-down worklists as well.
+All three reduce to the batched multi-source primitive
+:meth:`repro.bfs.kernel.TraversalKernel.levels`; the functions here are
+single-shot wrappers around an ephemeral kernel for callers that don't
+hold one (the stages in :mod:`repro.core` route through the run state's
+pooled kernel instead).
 """
 
 from __future__ import annotations
@@ -24,9 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bfs.topdown import topdown_step
+from repro.bfs.kernel import TraversalKernel, Workspace
 from repro.bfs.visited import VisitMarks
-from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["partial_bfs_levels", "ball"]
@@ -65,29 +64,10 @@ def partial_bfs_levels(
         ``k + 1`` (i.e. at distance ``k + 1`` from the source set).
         The sources themselves are not included.
     """
-    n = graph.num_vertices
-    sources = np.unique(np.asarray(sources, dtype=np.int64))
-    if len(sources) and (sources[0] < 0 or sources[-1] >= n):
-        raise AlgorithmError(f"partial BFS source out of range [0, {n})")
-    if marks is None:
-        marks = VisitMarks(n)
-    marks.new_epoch()
-    if mark_sources:
-        marks.visit(sources)
-
-    levels: list[np.ndarray] = []
-    frontier = sources
-    level = 0
-    while len(frontier):
-        if max_level is not None and level >= max_level:
-            break
-        next_frontier, _ = topdown_step(graph, frontier, marks)
-        if len(next_frontier) == 0:
-            break
-        levels.append(next_frontier)
-        frontier = next_frontier
-        level += 1
-    return levels
+    kernel = TraversalKernel(
+        graph, workspace=Workspace(graph.num_vertices, marks=marks)
+    )
+    return kernel.levels(sources, max_level, mark_sources=mark_sources)
 
 
 def ball(
@@ -104,8 +84,7 @@ def ball(
     the region Chain Processing removes around a chain anchor. Also used
     by the property-based tests to verify the safety theorems directly.
     """
-    levels = partial_bfs_levels(graph, [center], radius, marks)
-    parts = levels + ([np.array([center], dtype=np.int64)] if include_center else [])
-    if not parts:
-        return np.empty(0, dtype=np.int64)
-    return np.unique(np.concatenate(parts))
+    kernel = TraversalKernel(
+        graph, workspace=Workspace(graph.num_vertices, marks=marks)
+    )
+    return kernel.ball(center, radius, include_center=include_center)

@@ -14,6 +14,7 @@ import sys
 import time
 
 from repro._version import __version__
+from repro.bfs import available_engines
 from repro.core import FDiamConfig, eccentricity_spectrum, fdiam
 from repro.errors import ReproError
 from repro.graph import degree_summary, read_graph
@@ -36,9 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["parallel", "serial"],
+        choices=available_engines(),
         default="parallel",
-        help="BFS engine: vectorized (default) or scalar reference",
+        help="BFS engine: vectorized hybrid (default), scalar reference, "
+        "or the batched multi-source path",
     )
     parser.add_argument(
         "--no-winnow", action="store_true", help="disable the Winnow stage"
@@ -61,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print per-stage statistics"
+    )
+    parser.add_argument(
+        "--workspace-stats",
+        action="store_true",
+        help="print traversal-workspace statistics (peak scratch bytes, "
+        "buffer-reuse hit rate)",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
@@ -118,6 +126,16 @@ def main(argv: list[str] | None = None) -> int:
         print("time by stage  :")
         for stage, frac in stats.times.fractions().items():
             print(f"  {stage:10s} {100 * frac:6.2f}%")
+
+    if args.workspace_stats:
+        ws = result.stats.workspace
+        if ws is None:
+            print("\nworkspace stats unavailable for this run")
+        else:
+            print(f"\npeak scratch   : {ws.peak_scratch_bytes:,} bytes")
+            print(f"buffer reuse   : {ws.buffer_reuses}/{ws.buffer_requests} "
+                  f"requests ({100 * ws.hit_rate:.1f}% hit rate)")
+            print(f"mark epochs    : {ws.epochs}")
 
     if args.spectrum:
         spec = eccentricity_spectrum(graph, engine=args.engine)

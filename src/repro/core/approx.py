@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bfs.eccentricity import Engine, get_engine
-from repro.bfs.visited import VisitMarks
+from repro.bfs.eccentricity import Engine
+from repro.bfs.kernel import TraversalKernel
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 
@@ -72,14 +72,13 @@ def two_sweep_estimate(
         raise AlgorithmError("two_sweep_estimate on an empty graph")
     if start is None:
         start = graph.max_degree_vertex()
-    bfs = get_engine(engine)
-    marks = VisitMarks(graph.num_vertices)
+    kernel = TraversalKernel(graph, engine=engine)
 
-    first = bfs(graph, start, marks)
+    first = kernel.bfs(start)
     if first.visited_count <= 1:
         return DiameterEstimate(0, 0, 1, first.visited_count)
     far = int(first.last_frontier[0])
-    second = bfs(graph, far, marks)
+    second = kernel.bfs(far)
     lower = second.eccentricity
     upper = 2 * min(first.eccentricity, second.eccentricity)
     return DiameterEstimate(
@@ -107,25 +106,27 @@ def four_sweep_estimate(
         raise AlgorithmError("four_sweep_estimate on an empty graph")
     if start is None:
         start = graph.max_degree_vertex()
-    bfs = get_engine(engine)
-    n = graph.num_vertices
-    marks = VisitMarks(n)
+    kernel = TraversalKernel(graph, engine=engine)
 
-    r1 = bfs(graph, start, marks, record_dist=True)
+    r1 = kernel.bfs(start, record_dist=True)
     if r1.visited_count <= 1:
         return DiameterEstimate(0, 0, 1, r1.visited_count)
     a1 = int(r1.last_frontier[0])
-    r2 = bfs(graph, a1, marks, record_dist=True)
+    kernel.workspace.release_dist(r1.dist)
+    r2 = kernel.bfs(a1, record_dist=True)
     lower = r2.eccentricity
-    mid1 = _path_midpoint(graph, bfs, marks, a1, r2, int(r2.last_frontier[0]))
+    mid1 = _path_midpoint(kernel, a1, r2, int(r2.last_frontier[0]))
+    kernel.workspace.release_dist(r2.dist)
 
-    r3 = bfs(graph, mid1, marks, record_dist=True)
+    r3 = kernel.bfs(mid1, record_dist=True)
     a2 = int(r3.last_frontier[0])
-    r4 = bfs(graph, a2, marks, record_dist=True)
+    kernel.workspace.release_dist(r3.dist)
+    r4 = kernel.bfs(a2, record_dist=True)
     lower = max(lower, r4.eccentricity)
-    mid2 = _path_midpoint(graph, bfs, marks, a2, r4, int(r4.last_frontier[0]))
+    mid2 = _path_midpoint(kernel, a2, r4, int(r4.last_frontier[0]))
+    kernel.workspace.release_dist(r4.dist)
 
-    r5 = bfs(graph, mid2, marks)
+    r5 = kernel.bfs(mid2)
     upper = 2 * min(r1.eccentricity, r3.eccentricity, r5.eccentricity)
     return DiameterEstimate(
         lower=lower,
@@ -135,14 +136,15 @@ def four_sweep_estimate(
     )
 
 
-def _path_midpoint(graph, bfs, marks, a, res_a, b) -> int:
+def _path_midpoint(kernel: TraversalKernel, a, res_a, b) -> int:
     """A vertex halfway along a shortest ``a``–``b`` path via two
     distance arrays (one extra BFS from ``b``)."""
     import numpy as np
 
-    dist_b = bfs(graph, b, marks, record_dist=True).dist
+    dist_b = kernel.bfs(b, record_dist=True).dist
     dist_a = res_a.dist
     d_ab = int(dist_a[b])
     on_path = (dist_a >= 0) & (dist_b >= 0) & (dist_a + dist_b == d_ab)
     half = np.flatnonzero(on_path & (dist_a == d_ab // 2))
+    kernel.workspace.release_dist(dist_b)
     return int(half[0]) if len(half) else a

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs.topdown import topdown_step
 from repro.core.state import MAX_BOUND, FDiamState
 from repro.core.stats import Reason
 from repro.graph.degrees import degree_one_vertices
@@ -90,39 +89,25 @@ def process_chains(state: FDiamState) -> int:
 
     # Staggered multi-source wave: a chain of length s injects its
     # anchor at offset max_len - s; wave step k writes MAX - max_len + k.
+    # The wave itself is the kernel's staggered multi-source primitive;
+    # the callback applies Algorithm 4's writes. Injected anchors are
+    # removed with their own pseudo-ecc (the mark_source write); anchors
+    # already swallowed by an earlier chain's wave never reach the
+    # callback — the running wave continues past them with bounds at
+    # least as tight, covering their ball (see module docstring).
     by_offset: dict[int, list[int]] = {}
     for anchor, length in zip(anchors, lengths):
         by_offset.setdefault(max_len - length, []).append(anchor)
 
-    marks = state.marks
-    marks.new_epoch()
     state.stats.eliminate_calls += 1
     base = int(MAX_BOUND) - max_len
-    frontier = np.empty(0, dtype=np.int64)
-    for step in range(max_len + 1):
-        injected = by_offset.get(step)
-        if injected is not None:
-            arr = np.unique(np.asarray(injected, dtype=np.int64))
-            fresh = arr[~marks.is_visited(arr)]
-            if len(fresh):
-                marks.visit(fresh)
-                # The anchor itself is removed with its own pseudo-ecc
-                # (Algorithm 4's mark_source write). Anchors already
-                # swallowed by an earlier chain's wave are skipped: the
-                # running wave continues past them with bounds at least
-                # as tight, covering their ball (see module docstring).
-                state.remove(fresh, np.int64(base + step), Reason.CHAIN)
-                hit = fresh[is_tip[fresh]]
-                tip_step[hit] = step
-                frontier = np.concatenate([frontier, fresh])
-        if step == max_len:
-            break
-        if len(frontier):
-            frontier, _ = topdown_step(state.graph, frontier, marks)
-            if len(frontier):
-                state.remove(frontier, np.int64(base + step + 1), Reason.CHAIN)
-                hit = frontier[is_tip[frontier]]
-                tip_step[hit] = step + 1
+
+    def record(depth: int, vertices: np.ndarray) -> None:
+        state.remove(vertices, np.int64(base + depth), Reason.CHAIN)
+        hit = vertices[is_tip[vertices]]
+        tip_step[hit] = depth
+
+    state.kernel.staggered_wave(by_offset, max_len, on_discover=record)
 
     # Rescue the surviving tips (Algorithm 4 line 9), applying the two
     # domination rules the sequential order applies implicitly:

@@ -16,7 +16,6 @@ the same level-synchronous computation.
 
 from __future__ import annotations
 
-from repro.bfs.partial import partial_bfs_levels
 from repro.core.state import FDiamState
 from repro.core.stats import Reason
 
@@ -66,7 +65,7 @@ def eliminate(
     if depth <= 0:
         return 1 if mark_source else 0
     state.stats.eliminate_calls += 1
-    levels = partial_bfs_levels(state.graph, [source], depth, state.marks)
+    levels = state.kernel.levels([source], depth)
     state.remove_levels(levels, base=ecc, reason=reason)
     removed = sum(len(level) for level in levels)
     return removed + (1 if mark_source else 0)

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs.partial import partial_bfs_levels
 from repro.core.state import FDiamState
 from repro.core.stats import Reason
 
@@ -41,6 +40,6 @@ def extend_eliminated(state: FDiamState, old_bound: int, new_bound: int) -> int:
     if len(seeds) == 0:
         return 0
     state.stats.eliminate_calls += 1
-    levels = partial_bfs_levels(state.graph, seeds, depth, state.marks)
+    levels = state.kernel.levels(seeds, depth)
     state.remove_levels(levels, base=old_bound, reason=Reason.ELIMINATE)
     return sum(len(level) for level in levels)

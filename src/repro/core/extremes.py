@@ -29,8 +29,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bfs.eccentricity import Engine, get_engine
-from repro.bfs.visited import VisitMarks
+from repro.bfs.eccentricity import Engine
+from repro.bfs.kernel import TraversalKernel
 from repro.errors import AlgorithmError
 from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
@@ -71,8 +71,7 @@ def eccentricity_spectrum(
     n = graph.num_vertices
     if n == 0:
         raise AlgorithmError("eccentricity_spectrum on an empty graph")
-    bfs = get_engine(engine)
-    marks = VisitMarks(n)
+    kernel = TraversalKernel(graph, engine=engine)
 
     cc = connected_components(graph)
     ecc_lb = np.zeros(n, dtype=np.int64)
@@ -97,7 +96,7 @@ def eccentricity_spectrum(
             else:
                 v = int(cand[int(np.argmin(ecc_lb[cand]))])
             pick_high = not pick_high
-            res = bfs(graph, v, marks, record_dist=True)
+            res = kernel.bfs(v, record_dist=True)
             traversals += 1
             ecc_v = res.eccentricity
             dist = res.dist
@@ -109,6 +108,9 @@ def eccentricity_spectrum(
             )
             np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
             ecc_lb[v] = ecc_ub[v] = ecc_v
+            # The distances were folded into the bounds; recycle the
+            # buffer so every refinement after the first reuses it.
+            kernel.workspace.release_dist(dist)
 
     ecc = ecc_lb  # bounds have met everywhere
     diameter = int(ecc.max()) if n else 0

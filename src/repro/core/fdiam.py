@@ -104,7 +104,11 @@ def fdiam_with_state(
         aborts with :class:`~repro.errors.BenchmarkTimeout` — the same
         per-input budget mechanism the baselines use, mirroring the
         paper's 2.5-hour cap (which F-Diam itself never hit, but the
-        ablated variants in Table 5/Figure 9 do).
+        ablated variants in Table 5/Figure 9 do). The deadline is
+        threaded into the run's traversal kernel, so it is enforced at
+        every BFS *level* — a huge 2-sweep, Winnow, or Extend phase
+        aborts mid-traversal instead of only between eccentricity
+        calls.
 
     Returns
     -------
@@ -123,7 +127,7 @@ def fdiam_with_state(
     if graph.num_vertices == 0:
         raise AlgorithmError("fdiam() requires a graph with at least one vertex")
     config = config or FDiamConfig()
-    state = FDiamState(graph, config)
+    state = FDiamState(graph, config, deadline=deadline)
     stats = state.stats
     n = graph.num_vertices
 

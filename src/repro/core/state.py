@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.bfs.eccentricity import get_engine
 from repro.bfs.hybrid import BFSResult
-from repro.bfs.visited import VisitMarks
+from repro.bfs.kernel import TraversalKernel
 from repro.core.config import FDiamConfig
 from repro.core.stats import FDiamStats, Reason
 from repro.graph.csr import CSRGraph
@@ -54,6 +54,7 @@ class FDiamState:
         "stats",
         "status",
         "reason",
+        "kernel",
         "marks",
         "bound",
         "winnow_center",
@@ -62,7 +63,13 @@ class FDiamState:
         "winnow_visited",
     )
 
-    def __init__(self, graph: CSRGraph, config: FDiamConfig):
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: FDiamConfig,
+        *,
+        deadline: float | None = None,
+    ):
         self.graph = graph
         self.config = config
         self.stats = FDiamStats(
@@ -72,8 +79,21 @@ class FDiamState:
         self.status = np.full(graph.num_vertices, ACTIVE, dtype=np.int64)
         #: First-touch removal attribution per vertex (Reason values).
         self.reason = np.full(graph.num_vertices, Reason.ACTIVE, dtype=np.uint8)
-        #: Shared visit counter (the paper's ``counter`` parameter).
-        self.marks = VisitMarks(graph.num_vertices)
+        #: The run's shared traversal kernel: every stage (2-sweep,
+        #: Winnow, Chain, Eliminate, Extend, eccentricity loop) routes
+        #: its traversals through it, sharing one pooled workspace and
+        #: the optional deadline (so even a single huge level loop
+        #: aborts within one level of the budget expiring).
+        self.kernel = TraversalKernel(
+            graph,
+            threshold=config.threshold,
+            directions=config.directions,
+            deadline=deadline,
+        )
+        #: Shared visit counter (the paper's ``counter`` parameter) —
+        #: an alias of the kernel workspace's marks.
+        self.marks = self.kernel.workspace.marks
+        self.stats.workspace = self.kernel.workspace.stats
         #: Current lower bound on the diameter.
         self.bound = 0
 
@@ -143,23 +163,19 @@ class FDiamState:
 
         Central funnel for every eccentricity traversal of a run: it
         applies the config's engine, direction threshold, and trace
-        collection, and increments the Table 3 traversal counter.
+        collection, and increments the Table 3 traversal counter. The
+        ``"parallel"`` engine runs directly on the run's pooled kernel;
+        other registered engines resolve through the registry but share
+        the same workspace marks.
         """
         cfg = self.config
         self.stats.eccentricity_bfs += 1
-        if cfg.engine == "serial":
-            return get_engine("serial")(self.graph, vertex, self.marks)
-        res = get_engine("parallel")(
-            self.graph,
-            vertex,
-            self.marks,
-            threshold=cfg.threshold,
-            directions=cfg.directions,
-            record_trace=cfg.keep_traces,
-        )
-        if res.trace is not None:
-            self.stats.traces.append(res.trace)
-        return res
+        if cfg.engine == "parallel":
+            res = self.kernel.bfs(vertex, record_trace=cfg.keep_traces)
+            if res.trace is not None:
+                self.stats.traces.append(res.trace)
+            return res
+        return get_engine(cfg.engine)(self.graph, vertex, self.marks)
 
     # ------------------------------------------------------------------
     # Queries

@@ -27,6 +27,7 @@ from enum import IntEnum
 import numpy as np
 
 from repro.bfs.instrumentation import BFSTrace
+from repro.bfs.kernel import WorkspaceStats
 
 __all__ = ["Reason", "StageTimes", "FDiamStats"]
 
@@ -90,6 +91,10 @@ class FDiamStats:
 
     times: StageTimes = field(default_factory=StageTimes)
     traces: list[BFSTrace] = field(default_factory=list)
+
+    #: Scratch-buffer accounting of the run's traversal kernel (peak
+    #: scratch bytes, buffer-reuse hit rate); attached by FDiamState.
+    workspace: WorkspaceStats | None = None
 
     @property
     def bfs_traversals(self) -> int:

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs.topdown import topdown_step
 from repro.core.state import WINNOWED, FDiamState
 from repro.core.stats import Reason
 from repro.errors import AlgorithmError
@@ -62,20 +61,26 @@ def winnow(state: FDiamState, center: int, bound: int) -> int:
         return 0
 
     state.stats.winnow_calls += 1
-    expanded = 0
-    # A dedicated boolean visited array (not the shared epoch counter)
-    # persists across extensions of the one winnow ball.
-    marks = _BoolMarks(state.winnow_visited)
-    frontier = state.winnow_frontier
-    for _ in range(levels_to_expand):
-        next_frontier, _ = topdown_step(state.graph, frontier, marks)
-        if len(next_frontier) == 0:
-            frontier = next_frontier
-            break
-        state.remove(next_frontier, WINNOWED, Reason.WINNOW)
-        frontier = next_frontier
-        expanded += 1
-    state.winnow_frontier = frontier
+    # The ball expansion is the kernel's batched multi-source primitive
+    # resumed from the saved frontier: no new epoch (a dedicated boolean
+    # visited array persists across extensions of the one winnow ball)
+    # and the frontier is already marked.
+    levels = state.kernel.levels(
+        state.winnow_frontier,
+        levels_to_expand,
+        marks=_BoolMarks(state.winnow_visited),
+        new_epoch=False,
+        mark_sources=False,
+    )
+    for level in levels:
+        state.remove(level, WINNOWED, Reason.WINNOW)
+    expanded = len(levels)
+    # Save the resume frontier: the last expanded level, or empty once
+    # the ball has swallowed its whole component.
+    if expanded == levels_to_expand:
+        state.winnow_frontier = levels[-1]
+    else:
+        state.winnow_frontier = np.empty(0, dtype=np.int64)
     state.winnow_radius = target_radius
     return expanded
 

@@ -188,8 +188,17 @@ class CSRGraph:
     # Misc
     # ------------------------------------------------------------------
     def with_name(self, name: str) -> "CSRGraph":
-        """A copy of this graph (sharing arrays) under a different name."""
-        return CSRGraph(self.indptr, self.indices, name=name)
+        """A copy of this graph (sharing arrays) under a different name.
+
+        The memoized adjacency-list cache is shared too — it is derived
+        purely from the (shared) CSR arrays, and rebuilding it on the
+        renamed copy would silently repeat the most expensive part of a
+        serial-engine warm-up.
+        """
+        copy = CSRGraph(self.indptr, self.indices, name=name)
+        if self._adj_lists is not None:
+            object.__setattr__(copy, "_adj_lists", self._adj_lists)
+        return copy
 
     def memory_bytes(self) -> int:
         """Bytes held by the CSR arrays (useful in benchmark reports)."""

@@ -79,6 +79,19 @@ class TestMisc:
         assert g2.name == "renamed"
         assert g2.indices is tiny_graph.indices
 
+    def test_with_name_shares_adjacency_cache(self, tiny_graph):
+        lists = tiny_graph.adjacency_lists()
+        g2 = tiny_graph.with_name("renamed")
+        assert g2.adjacency_lists() is lists
+
+    def test_with_name_before_cache_is_lazy(self, tiny_graph):
+        from repro.graph.csr import CSRGraph
+
+        fresh = CSRGraph(tiny_graph.indptr, tiny_graph.indices)
+        g2 = fresh.with_name("renamed")
+        assert g2._adj_lists is None  # nothing to inherit yet
+        assert g2.adjacency_lists() == fresh.adjacency_lists()
+
     def test_memory_bytes(self, tiny_graph):
         assert (
             tiny_graph.memory_bytes()

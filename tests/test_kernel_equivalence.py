@@ -1,0 +1,119 @@
+"""Property-based equivalence of ALL registered traversal engines.
+
+The engine registry now spans three structurally different code paths —
+the vectorized direction-optimized hybrid ("parallel"), the scalar
+reference ("serial"), and the batched multi-source machinery driven
+with a single source ("batched"). Whatever engine a
+:class:`~repro.bfs.kernel.TraversalKernel` is configured with, the
+observable results must be identical on every graph and source:
+eccentricity, visited count, the full distance array, and the set of
+deepest vertices. The strategies deliberately include disconnected
+graphs (random edge soups and explicit disjoint unions of generator
+graphs) because the multi-source path degrades differently there.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bfs import TraversalKernel, available_engines, serial_distances
+from repro.generators import barabasi_albert, broom, grid_2d, lollipop
+from repro.graph import from_edge_arrays
+
+
+def _edges_of(graph):
+    src, dst = [], []
+    for u, v in graph.iter_edges():
+        src.append(u)
+        dst.append(v)
+    return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+def _disjoint_union(g1, g2):
+    s1, d1 = _edges_of(g1)
+    s2, d2 = _edges_of(g2)
+    off = g1.num_vertices
+    return from_edge_arrays(
+        np.concatenate([s1, s2 + off]),
+        np.concatenate([d1, d2 + off]),
+        num_vertices=g1.num_vertices + g2.num_vertices,
+    )
+
+
+@st.composite
+def generator_graph(draw):
+    """A small graph from the generator families, possibly disconnected."""
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        g = grid_2d(draw(st.integers(2, 5)), draw(st.integers(2, 5)))
+    elif kind == 1:
+        m = draw(st.integers(1, 3))
+        g = barabasi_albert(
+            draw(st.integers(m + 1, 25)), m, seed=draw(st.integers(0, 1000))
+        )
+    elif kind == 2:
+        g = lollipop(draw(st.integers(3, 6)), draw(st.integers(1, 8)))
+    elif kind == 3:
+        g = broom(draw(st.integers(1, 8)), draw(st.integers(1, 6)))
+    else:
+        # Random edge soup: frequently disconnected, may have isolated
+        # vertices and multi-edges.
+        n = draw(st.integers(1, 30))
+        m = draw(st.integers(0, 2 * n))
+        rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+        g = from_edge_arrays(
+            rng.integers(0, n, size=m), rng.integers(0, n, size=m), num_vertices=n
+        )
+    if draw(st.booleans()):
+        # Force disconnection: glue on an independent second component.
+        g = _disjoint_union(g, grid_2d(2, draw(st.integers(2, 4))))
+    return g
+
+
+@st.composite
+def graph_and_source(draw):
+    g = draw(generator_graph())
+    return g, draw(st.integers(min_value=0, max_value=g.num_vertices - 1))
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph_and_source())
+def test_all_registered_engines_equivalent(pair):
+    g, source = pair
+    reference = serial_distances(g, source)
+    results = {
+        engine: TraversalKernel(g, engine=engine).bfs(source, record_dist=True)
+        for engine in available_engines()
+    }
+    assert set(results) >= {"parallel", "serial", "batched"}
+    for engine, res in results.items():
+        assert res.eccentricity == int(max(reference.max(), 0)), engine
+        assert res.visited_count == int(np.count_nonzero(reference >= 0)), engine
+        assert (res.dist == reference).all(), engine
+        assert sorted(res.last_frontier.tolist()) == sorted(
+            np.flatnonzero(reference == reference.max()).tolist()
+            if reference.max() > 0
+            else [source]
+        ), engine
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_and_source(), st.integers(min_value=0, max_value=5))
+def test_all_engines_agree_on_level_caps(pair, cap):
+    g, source = pair
+    reference = serial_distances(g, source)
+    expected_visited = int(np.count_nonzero((reference >= 0) & (reference <= cap)))
+    for engine in available_engines():
+        res = TraversalKernel(g, engine=engine).bfs(source, max_level=cap)
+        assert res.visited_count == expected_visited, engine
+        assert res.eccentricity == min(cap, int(max(reference.max(), 0))), engine
+
+
+@settings(max_examples=60, deadline=None)
+@given(generator_graph())
+def test_engines_agree_on_all_eccentricities(g):
+    per_engine = []
+    for engine in available_engines():
+        kernel = TraversalKernel(g, engine=engine)
+        per_engine.append([kernel.eccentricity(v) for v in range(g.num_vertices)])
+    for eccs in per_engine[1:]:
+        assert eccs == per_engine[0]
