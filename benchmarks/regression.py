@@ -1,0 +1,292 @@
+#!/usr/bin/env python
+"""Benchmark regression harness: pinned baselines, ``--compare`` gate.
+
+Runs a fixed set of micro and stage benchmarks on pinned generator
+graphs (the paper-analog inputs are deterministic — same seed, same
+graph, same traversal counts on every machine) and emits a
+``BENCH_<date>.json`` snapshot:
+
+* per-stage wall time (median of ``--repeats``),
+* deterministic work counters — edges examined, BFS count, sweep
+  count, lane occupancy — which are *exactly* reproducible,
+* environment info for provenance.
+
+``--compare OLD.json`` flags regressions against a committed baseline.
+Deterministic counters are compared strictly (an increase beyond
+``TOLERANCE`` fails the run — the work an algorithm does should never
+quietly grow); wall times are noisy across machines and CI runners, so
+they only warn unless ``--strict-time`` is given.
+
+Usage::
+
+    python benchmarks/regression.py --out BENCH_2026-08-07.json
+    python benchmarks/regression.py --smoke --compare BENCH_2026-08-07.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro._version import __version__  # noqa: E402
+from repro.baselines.sumsweep import sumsweep_diameter  # noqa: E402
+from repro.core.config import FDiamConfig  # noqa: E402
+from repro.core.extremes import eccentricity_spectrum  # noqa: E402
+from repro.core.fdiam import fdiam  # noqa: E402
+from repro.bfs.kernel import TraversalKernel  # noqa: E402
+from repro.harness.workloads import get_workload  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Fractional increase in a deterministic counter (or, with
+#: ``--strict-time``, a wall time) that counts as a regression.
+TOLERANCE = 0.20
+
+#: One small-diameter power-law analog and one high-diameter road
+#: analog — the two topology regimes the paper contrasts throughout §6.
+FULL_GRAPHS = ("internet", "USA-road-d.NY")
+SMOKE_GRAPHS = ("internet",)
+
+#: Counter keys compared strictly; everything else numeric is wall-ish.
+STRICT_KEYS = ("edges_examined", "bfs_count", "sweeps")
+
+
+def _timed(fn, repeats: int):
+    """Median wall seconds of ``repeats`` calls, plus the last result."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
+
+
+def _stage_bfs_hybrid(graph, repeats):
+    kernel = TraversalKernel(graph)
+    source = graph.max_degree_vertex()
+    wall, res = _timed(
+        lambda: kernel.bfs(source, record_trace=True), repeats
+    )
+    return {
+        "wall_s": wall,
+        "bfs_count": 1,
+        "edges_examined": res.trace.total_edges_examined,
+        "eccentricity": res.eccentricity,
+    }
+
+
+def _stage_fdiam(graph, repeats):
+    wall, res = _timed(lambda: fdiam(graph), repeats)
+    return {
+        "wall_s": wall,
+        "bfs_count": res.stats.bfs_traversals,
+        "diameter": res.diameter,
+    }
+
+
+def _stage_fdiam_lanes64(graph, repeats):
+    config = FDiamConfig(bfs_batch_lanes=64)
+    wall, res = _timed(lambda: fdiam(graph, config), repeats)
+    return {
+        "wall_s": wall,
+        "bfs_count": res.stats.bfs_traversals,
+        "diameter": res.diameter,
+    }
+
+
+def _stage_spectrum(graph, repeats, lanes):
+    wall, spec = _timed(
+        lambda: eccentricity_spectrum(graph, batch_lanes=lanes), repeats
+    )
+    return {
+        "wall_s": wall,
+        "bfs_count": spec.bfs_traversals,
+        "sweeps": spec.sweeps,
+        "edges_examined": spec.edges_examined,
+        "lane_occupancy": round(spec.lane_occupancy, 4),
+        "diameter": spec.diameter,
+    }
+
+
+def _stage_sumsweep(graph, repeats, lanes):
+    wall, res = _timed(
+        lambda: sumsweep_diameter(graph, batch_lanes=lanes), repeats
+    )
+    return {
+        "wall_s": wall,
+        "bfs_count": res.bfs_traversals,
+        "diameter": res.diameter,
+    }
+
+
+#: name -> (callable(graph, repeats) -> counters, include_in_smoke)
+STAGES = {
+    "bfs_hybrid": (_stage_bfs_hybrid, True),
+    "fdiam": (_stage_fdiam, True),
+    "fdiam_lanes64": (_stage_fdiam_lanes64, True),
+    "spectrum_scalar": (lambda g, r: _stage_spectrum(g, r, 0), False),
+    "spectrum_lanes64": (lambda g, r: _stage_spectrum(g, r, 64), True),
+    "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
+    "sumsweep_lanes64": (lambda g, r: _stage_sumsweep(g, r, 64), True),
+}
+
+
+def run_suite(
+    *, smoke: bool = False, repeats: int = 1, graphs=None, date: str | None = None
+) -> dict:
+    """Run all stages on the pinned graphs; return the snapshot dict."""
+    names = graphs if graphs is not None else (SMOKE_GRAPHS if smoke else FULL_GRAPHS)
+    snapshot = {
+        "schema_version": SCHEMA_VERSION,
+        "date": date or _dt.date.today().isoformat(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repro": __version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "graphs": {},
+        "stages": {},
+    }
+    for name in names:
+        workload = get_workload(name)
+        graph = workload.graph
+        snapshot["graphs"][name] = {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        }
+        for stage, (fn, in_smoke) in STAGES.items():
+            if smoke and not in_smoke:
+                continue
+            key = f"{name}/{stage}"
+            print(f"  running {key} ...", flush=True)
+            snapshot["stages"][key] = fn(graph, repeats)
+        scalar = snapshot["stages"].get(f"{name}/spectrum_scalar")
+        lanes = snapshot["stages"].get(f"{name}/spectrum_lanes64")
+        if scalar and lanes:
+            # The headline number: how many fewer edge-gather passes
+            # (level-synchronous sweeps) the lane batching needs.
+            lanes["gather_pass_ratio_vs_scalar"] = round(
+                scalar["sweeps"] / max(lanes["sweeps"], 1), 2
+            )
+            lanes["edge_ratio_vs_scalar"] = round(
+                scalar["edges_examined"] / max(lanes["edges_examined"], 1), 3
+            )
+    return snapshot
+
+
+def compare(baseline: dict, current: dict, *, strict_time: bool = False):
+    """Diff two snapshots. Returns (regressions, warnings) message lists.
+
+    Only stages present in *both* snapshots are compared, so a smoke run
+    can be gated against a full baseline. Deterministic counters
+    (:data:`STRICT_KEYS`) regress when they grow by more than
+    ``TOLERANCE``; exact-result keys (``diameter``, ``eccentricity``)
+    regress on *any* change; wall times warn unless ``strict_time``.
+    """
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for key, cur in current.get("stages", {}).items():
+        base = baseline.get("stages", {}).get(key)
+        if base is None:
+            continue
+        for field in ("diameter", "eccentricity"):
+            if field in base and field in cur and base[field] != cur[field]:
+                regressions.append(
+                    f"{key}: {field} changed {base[field]} -> {cur[field]} "
+                    f"(exact result must not change)"
+                )
+        for field in STRICT_KEYS:
+            if field not in base or field not in cur:
+                continue
+            old, new = base[field], cur[field]
+            if old > 0 and new > old * (1 + TOLERANCE):
+                regressions.append(
+                    f"{key}: {field} rose {old:,} -> {new:,} "
+                    f"(+{100 * (new - old) / old:.1f}%, limit {100 * TOLERANCE:.0f}%)"
+                )
+        if "wall_s" in base and "wall_s" in cur:
+            old, new = base["wall_s"], cur["wall_s"]
+            if old > 0 and new > old * (1 + TOLERANCE):
+                msg = (
+                    f"{key}: wall time rose {old:.3f}s -> {new:.3f}s "
+                    f"(+{100 * (new - old) / old:.1f}%)"
+                )
+                (regressions if strict_time else warnings).append(msg)
+    return regressions, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick subset: one graph, lane stages only (CI gate)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="output JSON path"
+    )
+    parser.add_argument(
+        "--date",
+        default=None,
+        help="date stamp for the snapshot / default filename (YYYY-MM-DD)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="wall-time samples per stage (median)"
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="gate against a committed baseline snapshot",
+    )
+    parser.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="treat wall-time increases as failures, not warnings",
+    )
+    args = parser.parse_args(argv)
+
+    date = args.date or _dt.date.today().isoformat()
+    print(f"benchmark regression suite ({'smoke' if args.smoke else 'full'}) ...")
+    snapshot = run_suite(smoke=args.smoke, repeats=args.repeats, date=date)
+
+    out = args.out or Path(f"BENCH_{date}.json")
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        regressions, warnings = compare(
+            baseline, snapshot, strict_time=args.strict_time
+        )
+        for msg in warnings:
+            print(f"warning: {msg}")
+        if regressions:
+            for msg in regressions:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        compared = sum(
+            1 for k in snapshot["stages"] if k in baseline.get("stages", {})
+        )
+        print(f"compare OK: {compared} stages within tolerance of {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

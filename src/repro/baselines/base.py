@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bfs.bitparallel import lane_distances
 from repro.bfs.eccentricity import Engine
 from repro.bfs.kernel import TraversalKernel
 from repro.errors import AlgorithmError, BenchmarkTimeout
@@ -63,14 +64,18 @@ class BaselineContext:
         graph: CSRGraph,
         engine: Engine = "parallel",
         deadline: float | None = None,
+        batch_lanes: int = 0,
     ):
         if graph.num_vertices == 0:
             raise AlgorithmError("diameter of an empty graph is undefined")
         self.graph = graph
         self.engine_name = engine
         self.deadline = deadline
+        self.batch_lanes = batch_lanes
         self.bfs_count = 0
-        self.kernel = TraversalKernel(graph, engine=engine, deadline=deadline)
+        self.kernel = TraversalKernel(
+            graph, engine=engine, deadline=deadline, batch_lanes=batch_lanes
+        )
         self.marks = self.kernel.workspace.marks
 
     def check_deadline(self) -> None:
@@ -85,6 +90,23 @@ class BaselineContext:
         self.check_deadline()
         self.bfs_count += 1
         return self.kernel.bfs(source, record_dist=record_dist)
+
+    def run_batch(self, sources):
+        """One counted bit-parallel sweep: exact distances from every source.
+
+        Counts one BFS per source (the lanes are full logical
+        traversals; only the edge gathers are shared). Returns the
+        ``(k, n)`` distance matrix and the
+        :class:`~repro.bfs.bitparallel.LaneSweep`.
+        """
+        self.check_deadline()
+        self.bfs_count += len(sources)
+        return lane_distances(
+            self.graph,
+            sources,
+            pool=self.kernel.workspace,
+            check=self.kernel.check_deadline,
+        )
 
     def release_dist(self, dist) -> None:
         """Recycle a finished distance buffer into the workspace pool."""

@@ -91,6 +91,24 @@ def _component_diameter(
             return diam_lb
         ctx.check_deadline()
         ids = np.flatnonzero(unresolved)
+        if ctx.batch_lanes > 0:
+            # Batched round: the top candidates in the scalar loop's own
+            # order (upper bound descending, distance sum descending),
+            # all evaluated in one shared-gather sweep.
+            order = np.lexsort((-dist_sum[ids], -ecc_ub[ids]))
+            picks = ids[order][: ctx.batch_lanes]
+            dist, sweep = ctx.run_batch(picks)
+            for j, v in enumerate(picks):
+                ecc_v = int(sweep.eccentricities[j])
+                diam_lb = max(diam_lb, ecc_v)
+                d = dist[j]
+                reached = d >= 0
+                np.maximum(ecc_lb, np.where(reached, d, ecc_lb), out=ecc_lb)
+                np.minimum(ecc_ub, np.where(reached, d + ecc_v, ecc_ub), out=ecc_ub)
+                dist_sum[reached] += d[reached]
+                ecc_lb[v] = ecc_ub[v] = ecc_v
+                swept[v] = True
+            continue
         # Largest upper bound first; break ties toward peripheral
         # vertices (largest distance sum).
         best_ub = ecc_ub[ids].max()
@@ -104,9 +122,16 @@ def sumsweep_diameter(
     engine: Engine = "parallel",
     num_sweeps: int = DEFAULT_SWEEPS,
     deadline: float | None = None,
+    batch_lanes: int = 0,
 ) -> BaselineResult:
-    """Exact diameter via the (undirected, simplified) ExactSumSweep."""
-    ctx = BaselineContext(graph, engine, deadline)
+    """Exact diameter via the (undirected, simplified) ExactSumSweep.
+
+    ``batch_lanes > 0`` keeps the seeding sweeps sequential (each seed
+    choice depends on the previous sweeps' distance sums) but runs the
+    bounding phase in bit-parallel rounds of up to that many vertices —
+    exact distances for all of them from one shared-gather sweep.
+    """
+    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes)
     groups, connected = component_representatives(graph)
     best = 0
     for vertices in groups:

@@ -37,6 +37,37 @@ from repro.graph.csr import CSRGraph
 __all__ = ["bounding_diameters"]
 
 
+def _interleave_extremes(
+    cand: np.ndarray, ecc_lb: np.ndarray, ecc_ub: np.ndarray, lanes: int
+) -> np.ndarray:
+    """Up to ``lanes`` candidates, alternating largest-ub / smallest-lb.
+
+    The batched analog of the scalar loop's "interchanging" selection:
+    the vertices one round picks are the ones the scalar loop would
+    have picked next, before any of this round's refinements.
+    """
+    high = cand[np.argsort(-ecc_ub[cand], kind="stable")]
+    low = cand[np.argsort(ecc_lb[cand], kind="stable")]
+    interleaved = np.empty(2 * len(cand), dtype=cand.dtype)
+    interleaved[0::2] = high
+    interleaved[1::2] = low
+    _, first = np.unique(interleaved, return_index=True)
+    return interleaved[np.sort(first)][:lanes]
+
+
+def _refine(
+    ecc_lb: np.ndarray, ecc_ub: np.ndarray, v: int, ecc_v: int, dist: np.ndarray
+) -> None:
+    reached = dist >= 0
+    np.maximum(
+        ecc_lb,
+        np.where(reached, np.maximum(ecc_v - dist, dist), ecc_lb),
+        out=ecc_lb,
+    )
+    np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
+    ecc_lb[v] = ecc_ub[v] = ecc_v
+
+
 def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
     graph = ctx.graph
     n = graph.num_vertices
@@ -58,6 +89,14 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
             return diam_lb
         ctx.check_deadline()
         cand = np.flatnonzero(unresolved)
+        if ctx.batch_lanes > 0:
+            picks = _interleave_extremes(cand, ecc_lb, ecc_ub, ctx.batch_lanes)
+            dist, sweep = ctx.run_batch(picks)
+            for j, v in enumerate(picks):
+                ecc_v = int(sweep.eccentricities[j])
+                diam_lb = max(diam_lb, ecc_v)
+                _refine(ecc_lb, ecc_ub, int(v), ecc_v, dist[j])
+            continue
         if pick_high:
             v = int(cand[int(np.argmax(ecc_ub[cand]))])
         else:
@@ -68,14 +107,7 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
         ecc_v = res.eccentricity
         diam_lb = max(diam_lb, ecc_v)
         dist = res.dist
-        reached = dist >= 0
-        np.maximum(
-            ecc_lb,
-            np.where(reached, np.maximum(ecc_v - dist, dist), ecc_lb),
-            out=ecc_lb,
-        )
-        np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
-        ecc_lb[v] = ecc_ub[v] = ecc_v
+        _refine(ecc_lb, ecc_ub, v, ecc_v, dist)
         ctx.release_dist(dist)
 
 
@@ -84,9 +116,17 @@ def bounding_diameters(
     *,
     engine: Engine = "parallel",
     deadline: float | None = None,
+    batch_lanes: int = 0,
 ) -> BaselineResult:
-    """Exact diameter via Takes–Kosters BoundingDiameters."""
-    ctx = BaselineContext(graph, engine, deadline)
+    """Exact diameter via Takes–Kosters BoundingDiameters.
+
+    ``batch_lanes > 0`` evaluates up to that many selected vertices per
+    bit-parallel sweep (shared edge gathers, see
+    :mod:`repro.bfs.bitparallel`) and refines the bounds from all of
+    their exact distance rows; every update is the same sound triangle
+    inequality, so the diameter is exact either way.
+    """
+    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes)
     groups, connected = component_representatives(graph)
     best = 0
     for vertices in groups:

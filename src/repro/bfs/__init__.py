@@ -2,8 +2,9 @@
 
 The traversal surface is unified behind
 :class:`~repro.bfs.kernel.TraversalKernel` (full direction-optimized
-BFS, batched multi-source level expansion, staggered waves) with a
-pooled :class:`~repro.bfs.kernel.Workspace` of scratch buffers. The
+BFS, batched multi-source level expansion, bit-parallel 64-lane
+multi-source sweeps, staggered waves) with a pooled
+:class:`~repro.bfs.kernel.Workspace` of scratch buffers. The
 single-shot helpers (:func:`run_bfs`, :func:`partial_bfs_levels`,
 :func:`ball`), the counter-based visited marks (:class:`VisitMarks`),
 the scalar reference engine (:func:`serial_bfs`), the open engine
@@ -11,6 +12,13 @@ registry (:func:`register_engine` / :func:`get_engine`), and traversal
 instrumentation all build on it.
 """
 
+from repro.bfs.bitparallel import (
+    LANE_WIDTH,
+    LaneSweep,
+    lane_distances,
+    lane_sweep,
+    segmented_or,
+)
 from repro.bfs.bottomup import bottomup_step
 from repro.bfs.eccentricity import (
     Engine,
@@ -21,6 +29,7 @@ from repro.bfs.eccentricity import (
     register_engine,
 )
 from repro.bfs.frontier import (
+    compact_unique,
     frontier_edge_count,
     gather_neighbors,
     gather_rows,
@@ -45,6 +54,8 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "Direction",
     "Engine",
+    "LANE_WIDTH",
+    "LaneSweep",
     "LevelTrace",
     "TraversalCounter",
     "TraversalKernel",
@@ -55,14 +66,18 @@ __all__ = [
     "available_engines",
     "ball",
     "bottomup_step",
+    "compact_unique",
     "eccentricity",
     "frontier_edge_count",
     "gather_neighbors",
     "gather_rows",
     "get_engine",
+    "lane_distances",
+    "lane_sweep",
     "partial_bfs_levels",
     "register_engine",
     "row_any",
+    "segmented_or",
     "run_bfs",
     "serial_bfs",
     "serial_distances",

@@ -24,6 +24,8 @@ def bottomup_step(
     graph: CSRGraph,
     frontier_flag: np.ndarray,
     marks: VisitMarks,
+    *,
+    pool=None,
 ) -> tuple[np.ndarray, int]:
     """Expand one BFS level bottom-up.
 
@@ -51,7 +53,10 @@ def bottomup_step(
     if len(candidates) == 0:
         return np.empty(0, dtype=np.int64), 0
     values, lengths = gather_rows(
-        graph.indices, graph.indptr[candidates], graph.indptr[candidates + 1]
+        graph.indices,
+        graph.indptr[candidates],
+        graph.indptr[candidates + 1],
+        pool=pool,
     )
     edges_examined = len(values)
     if edges_examined == 0:

@@ -17,6 +17,9 @@ Registered engines (see DESIGN.md §2 and the architecture section):
 * ``"batched"``  — single-source traversal through the kernel's batched
   multi-source machinery; a structurally independent code path used to
   cross-check the Winnow/Eliminate primitive.
+* ``"bitparallel"`` — single-source traversal through the bit-parallel
+  lane sweep (:mod:`repro.bfs.bitparallel`); one lane of the 64-wide
+  machinery, cross-checking the engine the multi-source consumers use.
 """
 
 from __future__ import annotations
@@ -64,6 +67,23 @@ def batched_bfs(
     return kernel.bfs(source, max_level=max_level, record_dist=record_dist)
 
 
+def bitparallel_bfs(
+    graph: CSRGraph,
+    source: int,
+    marks: VisitMarks | None = None,
+    *,
+    max_level: int | None = None,
+    record_dist: bool = False,
+) -> BFSResult:
+    """Single-source BFS through the bit-parallel lane-sweep path."""
+    kernel = TraversalKernel(
+        graph,
+        engine="bitparallel",
+        workspace=Workspace(graph.num_vertices, marks=marks),
+    )
+    return kernel.bfs(source, max_level=max_level, record_dist=record_dist)
+
+
 _ENGINES: dict[str, _EngineFn] = {}
 
 
@@ -90,6 +110,7 @@ def get_engine(engine: Engine) -> _EngineFn:
 register_engine("parallel", run_bfs)
 register_engine("serial", serial_bfs)
 register_engine("batched", batched_bfs)
+register_engine("bitparallel", bitparallel_bfs)
 
 
 def eccentricity(
@@ -108,6 +129,7 @@ def all_eccentricities(
     *,
     engine: Engine = "parallel",
     marks: VisitMarks | None = None,
+    batch_lanes: int = 0,
 ) -> np.ndarray:
     """Eccentricity of every vertex (one BFS per vertex).
 
@@ -117,9 +139,24 @@ def all_eccentricities(
     get eccentricity 0. The ``"parallel"`` engine runs through one
     pooled kernel so the scratch buffers are shared across all ``n``
     traversals.
+
+    ``batch_lanes > 0`` ignores ``engine`` and computes the spectrum in
+    ``ceil(n / batch_lanes)`` bit-parallel sweeps of up to
+    ``batch_lanes`` sources each (rounded up to whole 64-lane words by
+    the sweep); every edge gather is shared by all lanes of a chunk, so
+    the number of gather passes drops by roughly the lane count.
     """
     n = graph.num_vertices
     ecc = np.zeros(n, dtype=np.int64)
+    if batch_lanes > 0:
+        kernel = TraversalKernel(
+            graph, workspace=Workspace(n, marks=marks), batch_lanes=batch_lanes
+        )
+        for start in range(0, n, batch_lanes):
+            chunk = np.arange(start, min(start + batch_lanes, n), dtype=np.int64)
+            sweep = kernel.levels_batched64(chunk)
+            ecc[chunk] = sweep.eccentricities
+        return ecc
     if engine == "parallel":
         kernel = TraversalKernel(graph, workspace=Workspace(n, marks=marks))
         for v in range(n):

@@ -10,12 +10,20 @@ and deduplication run as a handful of compiled array kernels instead of
 a thread team. The amount and order of algorithmic work per level is
 identical; only the execution vehicle differs.
 
-The two primitives here are:
+The primitives here are:
 
-* :func:`gather_neighbors` — concatenate the adjacency lists of every
-  frontier vertex (the "scan my chunk's edges" step).
+* :func:`gather_rows` / :func:`gather_neighbors` — concatenate the
+  adjacency lists of every frontier vertex (the "scan my chunk's edges"
+  step). Both accept an optional ``pool`` (duck-typed
+  :class:`~repro.bfs.kernel.Workspace`) whose cached ``arange`` scratch
+  replaces the per-level ``np.arange(total)`` allocation.
 * :func:`row_any` — per-row boolean reduction over a gathered range
   (the bottom-up "does any of my neighbours sit on the frontier?" test).
+* :func:`compact_unique` — sorted deduplication of a fresh-neighbour
+  set: a sort for small sets, claim-via-flag-array plus
+  ``np.flatnonzero`` compaction for large ones (the vectorized analog
+  of the paper's atomic claim, cheaper than an ``O(f log f)`` sort once
+  the fresh set is a sizable fraction of ``|V|``).
 """
 
 from __future__ import annotations
@@ -24,11 +32,27 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["gather_neighbors", "gather_rows", "row_any", "frontier_edge_count"]
+__all__ = [
+    "gather_neighbors",
+    "gather_rows",
+    "row_any",
+    "compact_unique",
+    "frontier_edge_count",
+]
+
+#: Fresh sets larger than this fraction of ``|V|`` are deduplicated by
+#: claim + ``flatnonzero`` compaction instead of ``np.unique``'s sort:
+#: the flag scan costs ``O(n)`` while the sort costs ``O(f log f)``, so
+#: the crossover sits at a constant fraction of ``n``.
+CLAIM_FRACTION = 0.125
 
 
 def gather_rows(
-    indices: np.ndarray, starts: np.ndarray, stops: np.ndarray
+    indices: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    *,
+    pool=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Concatenate ``indices[starts[i]:stops[i]]`` for all rows ``i``.
 
@@ -37,20 +61,31 @@ def gather_rows(
     built with ``repeat``/``cumsum`` arithmetic so the whole operation is
     ``O(total)`` compiled work with no Python-level loop, including for
     empty rows.
+
+    ``pool`` (any object with an ``arange(total)`` method, normally a
+    :class:`~repro.bfs.kernel.Workspace`) supplies the ``0..total-1``
+    base ramp from a cached scratch buffer instead of allocating a
+    fresh ``np.arange`` per call; the scratch is only read.
     """
     lengths = (stops - starts).astype(np.int64)
     total = int(lengths.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64), lengths
     prefix = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - prefix, lengths)
+    base = pool.arange(total) if pool is not None else np.arange(total, dtype=np.int64)
+    flat = base + np.repeat(starts - prefix, lengths)
     return indices[flat].astype(np.int64), lengths
 
 
-def gather_neighbors(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+def gather_neighbors(
+    graph: CSRGraph, frontier: np.ndarray, *, pool=None
+) -> np.ndarray:
     """All neighbours of the frontier vertices, concatenated (with repeats)."""
     values, _ = gather_rows(
-        graph.indices, graph.indptr[frontier], graph.indptr[frontier + 1]
+        graph.indices,
+        graph.indptr[frontier],
+        graph.indptr[frontier + 1],
+        pool=pool,
     )
     return values
 
@@ -67,6 +102,29 @@ def row_any(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     ends = np.cumsum(lengths)
     starts = ends - lengths
     return (cum[ends] - cum[starts]) > 0
+
+
+def compact_unique(
+    values: np.ndarray, num_vertices: int, *, pool=None
+) -> np.ndarray:
+    """Sorted unique vertex ids of ``values`` (all in ``[0, num_vertices)``).
+
+    Small sets go through ``np.unique`` (a sort). Sets larger than
+    ``CLAIM_FRACTION * num_vertices`` are claimed into a boolean flag
+    array and compacted with ``np.flatnonzero`` — ``O(n)`` instead of
+    ``O(f log f)``, which wins exactly when the fresh set is large. The
+    flag comes from ``pool.claim_flag()`` when a pool is given (it must
+    be all-``False`` on entry and is restored to all-``False`` before
+    returning, so one pooled buffer serves every level of every
+    traversal).
+    """
+    if len(values) < max(64, int(num_vertices * CLAIM_FRACTION)):
+        return np.unique(values)
+    flag = pool.claim_flag() if pool is not None else np.zeros(num_vertices, dtype=bool)
+    flag[values] = True
+    out = np.flatnonzero(flag)
+    flag[out] = False  # restore the all-False contract
+    return out
 
 
 def frontier_edge_count(graph: CSRGraph, frontier: np.ndarray) -> int:

@@ -9,22 +9,31 @@ whole traversal surface behind two objects:
 
 * :class:`Workspace` — per-graph pooled scratch state: the counter-based
   :class:`~repro.bfs.visited.VisitMarks` (the paper's ``counter``
-  parameter), the bottom-up frontier flag array, and a free list of
-  distance buffers. Pooling removes the per-BFS ``O(n)`` allocation
-  cost that the paper's counter trick exists to avoid, and records
-  reuse statistics (peak scratch bytes, buffer-reuse hit rate) for the
+  parameter), the bottom-up frontier flag array, the claim flag used
+  for large-set frontier compaction, a cached ``arange`` ramp for the
+  edge gathers, a free list of distance buffers, and per-width pools of
+  the uint64 lane matrices used by the bit-parallel engine. Pooling
+  removes the per-BFS ``O(n)`` allocation cost that the paper's counter
+  trick exists to avoid, and records reuse statistics (peak scratch
+  bytes, buffer/lane reuse hit rates, lane words allocated) for the
   ``--workspace-stats`` report.
 
 * :class:`TraversalKernel` — a graph-bound facade exposing the full
   traversal surface: direction-optimized full BFS (:meth:`bfs`, paper
   Algorithm 2 / §4.6), level-capped batched multi-source BFS
   (:meth:`levels`, the primitive behind Winnow / Eliminate / the §4.5
-  extension), and the staggered multi-source wave
+  extension), bit-parallel 64-lane multi-source BFS
+  (:meth:`levels_batched64`, one shared edge sweep driving up to 64
+  logical traversals per machine word — see
+  :mod:`repro.bfs.bitparallel`), and the staggered multi-source wave
   (:meth:`staggered_wave`) that Chain Processing injects its anchors
   into. The top-down and bottom-up modules act as direction-step
   strategies invoked by the kernel; an optional deadline is checked at
   every level so even a single huge traversal aborts within one level
-  of the budget expiring.
+  of the budget expiring. With ``batch_lanes > 0`` (the
+  ``--bfs-batch-lanes`` switch) the merged :meth:`levels` wave also
+  runs on the lane machinery, producing bit-identical level sets while
+  exercising the pooled lane matrices.
 
 The single-shot helpers in :mod:`repro.bfs.hybrid` and
 :mod:`repro.bfs.partial` remain as thin wrappers that build an
@@ -35,11 +44,12 @@ working unchanged.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.bfs.bitparallel import LaneSweep, lane_sweep
 from repro.bfs.bottomup import bottomup_step
 from repro.bfs.instrumentation import BFSTrace, Direction
 from repro.bfs.topdown import topdown_step
@@ -100,14 +110,22 @@ class WorkspaceStats:
     """Scratch-buffer accounting of one :class:`Workspace`.
 
     ``buffer_requests`` counts every time a traversal needed a pooled
-    scratch buffer (bottom-up frontier flag or distance array);
-    ``buffer_reuses`` counts how many of those were served from the pool
-    without allocating. ``peak_scratch_bytes`` is the high-water mark of
-    all scratch memory owned by the workspace (visit marks included).
+    scratch buffer (bottom-up frontier flag, claim flag, arange ramp,
+    or distance array); ``buffer_reuses`` counts how many of those were
+    served from the pool without allocating. Lane matrices (the
+    bit-parallel engine's ``(n, width)`` reach/frontier words) are
+    accounted separately: ``lane_requests`` / ``lane_reuses`` mirror the
+    generic counters and ``lane_words_allocated`` totals the ``uint64``
+    lane words ever allocated. ``peak_scratch_bytes`` is the high-water
+    mark of all scratch memory owned by the workspace (visit marks
+    included).
     """
 
     buffer_requests: int = 0
     buffer_reuses: int = 0
+    lane_requests: int = 0
+    lane_reuses: int = 0
+    lane_words_allocated: int = 0
     allocated_bytes: int = 0
     peak_scratch_bytes: int = 0
     epochs: int = 0
@@ -119,9 +137,19 @@ class WorkspaceStats:
             return 0.0
         return self.buffer_reuses / self.buffer_requests
 
+    @property
+    def lane_hit_rate(self) -> float:
+        """Fraction of lane-matrix requests served without an allocation."""
+        if self.lane_requests == 0:
+            return 0.0
+        return self.lane_reuses / self.lane_requests
+
     def _record_alloc(self, nbytes: int) -> None:
         self.allocated_bytes += nbytes
         self.peak_scratch_bytes = max(self.peak_scratch_bytes, self.allocated_bytes)
+
+    def _record_free(self, nbytes: int) -> None:
+        self.allocated_bytes -= nbytes
 
 
 class Workspace:
@@ -134,7 +162,16 @@ class Workspace:
     scratch, not just the visited marks.
     """
 
-    __slots__ = ("num_vertices", "marks", "stats", "_flag", "_dist_pool")
+    __slots__ = (
+        "num_vertices",
+        "marks",
+        "stats",
+        "_flag",
+        "_claim",
+        "_arange",
+        "_dist_pool",
+        "_lane_pool",
+    )
 
     def __init__(self, num_vertices: int, marks: VisitMarks | None = None):
         if marks is not None and len(marks) != num_vertices:
@@ -148,8 +185,14 @@ class Workspace:
         self.stats._record_alloc(self.marks.marks.nbytes)
         #: Lazily allocated boolean frontier flag for bottom-up steps.
         self._flag: np.ndarray | None = None
+        #: Lazily allocated all-False claim flag for large-set compaction.
+        self._claim: np.ndarray | None = None
+        #: Cached monotonically-grown ``0..size-1`` ramp for gathers.
+        self._arange: np.ndarray | None = None
         #: Free list of released distance buffers.
         self._dist_pool: list[np.ndarray] = []
+        #: Free lists of released lane matrices, keyed by word width.
+        self._lane_pool: dict[int, list[np.ndarray]] = {}
 
     def new_epoch(self) -> int:
         """Start a fresh traversal epoch on the shared marks."""
@@ -169,6 +212,77 @@ class Workspace:
         else:
             self.stats.buffer_reuses += 1
         return self._flag
+
+    def claim_flag(self) -> np.ndarray:
+        """The pooled claim flag for large-set compaction.
+
+        Contract: the flag is all-``False`` on entry and every user
+        must restore it to all-``False`` before returning it (see
+        :func:`repro.bfs.frontier.compact_unique`) — unlike
+        :meth:`frontier_flag`, which bottom-up steps may leave dirty.
+        """
+        self.stats.buffer_requests += 1
+        if self._claim is None:
+            self._claim = np.zeros(self.num_vertices, dtype=bool)
+            self.stats._record_alloc(self._claim.nbytes)
+        else:
+            self.stats.buffer_reuses += 1
+        return self._claim
+
+    def arange(self, total: int) -> np.ndarray:
+        """A read-only-by-convention ``0..total-1`` ramp, cached and grown.
+
+        Replaces the per-gather ``np.arange(total)`` allocation in
+        :func:`repro.bfs.frontier.gather_rows`: the cached ramp grows
+        geometrically and every gather takes a prefix view of it.
+        """
+        self.stats.buffer_requests += 1
+        if self._arange is None or len(self._arange) < total:
+            size = max(total, 1024)
+            if self._arange is not None:
+                size = max(size, 2 * len(self._arange))
+                self.stats._record_free(self._arange.nbytes)
+            self._arange = np.arange(size, dtype=np.int64)
+            self.stats._record_alloc(self._arange.nbytes)
+        else:
+            self.stats.buffer_reuses += 1
+        return self._arange[:total]
+
+    def acquire_lanes(self, width: int) -> np.ndarray:
+        """A zeroed ``(n, width)`` uint64 lane matrix, pooled when possible.
+
+        Lane matrices back the bit-parallel sweeps (per-vertex reach
+        and frontier words); hand them back via :meth:`release_lanes`.
+        """
+        if width < 1:
+            raise AlgorithmError(f"lane width must be >= 1, got {width}")
+        self.stats.lane_requests += 1
+        pool = self._lane_pool.get(width)
+        if pool:
+            self.stats.lane_reuses += 1
+            lanes = pool.pop()
+            lanes.fill(0)
+            return lanes
+        lanes = np.zeros((self.num_vertices, width), dtype=np.uint64)
+        self.stats.lane_words_allocated += self.num_vertices * width
+        self.stats._record_alloc(lanes.nbytes)
+        return lanes
+
+    def release_lanes(self, lanes: np.ndarray | None) -> None:
+        """Return a lane matrix to the pool for reuse.
+
+        Accepts ``None`` and foreign arrays gracefully; the per-width
+        pool is capped like the distance pool (a sweep holds at most a
+        reach and a frontier matrix at once).
+        """
+        if (
+            lanes is not None
+            and lanes.ndim == 2
+            and lanes.dtype == np.uint64
+            and lanes.shape[0] == self.num_vertices
+            and len(self._lane_pool.setdefault(lanes.shape[1], [])) < 4
+        ):
+            self._lane_pool[lanes.shape[1]].append(lanes)
 
     def acquire_dist(self) -> np.ndarray:
         """A distance buffer pre-filled with ``-1``, pooled when possible."""
@@ -231,9 +345,23 @@ class TraversalKernel:
         :class:`~repro.errors.BenchmarkTimeout`, so even one huge
         traversal (2-sweep, Winnow, Extend) aborts within a level of
         the budget expiring.
+    batch_lanes:
+        When positive, the multi-source :meth:`levels` primitive routes
+        through the bit-parallel lane-sweep machinery (merged read-out;
+        results are identical, the lane words carry seed-group
+        diagnostics and the sweeps share the workspace's pooled lane
+        matrices). ``0`` (the default) keeps the scalar top-down wave.
     """
 
-    __slots__ = ("graph", "engine", "threshold", "directions", "workspace", "deadline")
+    __slots__ = (
+        "graph",
+        "engine",
+        "threshold",
+        "directions",
+        "workspace",
+        "deadline",
+        "batch_lanes",
+    )
 
     def __init__(
         self,
@@ -244,6 +372,7 @@ class TraversalKernel:
         directions: bool = True,
         workspace: Workspace | None = None,
         deadline: float | None = None,
+        batch_lanes: int = 0,
     ):
         self.graph = graph
         self.engine = engine
@@ -256,6 +385,9 @@ class TraversalKernel:
                 f"{self.workspace.num_vertices} != {graph.num_vertices}"
             )
         self.deadline = deadline
+        if batch_lanes < 0:
+            raise AlgorithmError(f"batch_lanes must be >= 0, got {batch_lanes}")
+        self.batch_lanes = batch_lanes
 
     # ------------------------------------------------------------------
     # Deadline
@@ -286,6 +418,10 @@ class TraversalKernel:
             )
         if self.engine == "batched":
             return self._batched_bfs(
+                source, max_level=max_level, record_dist=record_dist
+            )
+        if self.engine == "bitparallel":
+            return self._bitparallel_bfs(
                 source, max_level=max_level, record_dist=record_dist
             )
         from repro.bfs.eccentricity import get_engine
@@ -335,10 +471,10 @@ class TraversalKernel:
                 flag = ws.frontier_flag()
                 flag[:] = False
                 flag[frontier] = True
-                next_frontier, edges = bottomup_step(graph, flag, marks)
+                next_frontier, edges = bottomup_step(graph, flag, marks, pool=ws)
                 direction = Direction.BOTTOM_UP
             else:
-                next_frontier, edges = topdown_step(graph, frontier, marks)
+                next_frontier, edges = topdown_step(graph, frontier, marks, pool=ws)
                 direction = Direction.TOP_DOWN
             if trace is not None:
                 trace.record(
@@ -392,6 +528,48 @@ class TraversalKernel:
         return BFSResult(
             source=source,
             eccentricity=len(levels),
+            visited_count=visited,
+            last_frontier=last,
+            dist=dist,
+            trace=None,
+        )
+
+    def _bitparallel_bfs(
+        self, source: int, *, max_level: int | None, record_dist: bool
+    ) -> BFSResult:
+        """Single-source BFS through the bit-parallel lane engine.
+
+        One lane of the 64-lane sweep (see :mod:`repro.bfs.bitparallel`)
+        — a third structurally independent code path the equivalence
+        tests cross-check against the hybrid and batched engines.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= source < n:
+            raise AlgorithmError(f"BFS source {source} out of range [0, {n})")
+        dist = self.workspace.acquire_dist() if record_dist else None
+        if dist is not None:
+            dist[source] = 0
+        visited = 1
+        last = np.array([source], dtype=np.int64)
+
+        def on_level(depth: int, fresh: np.ndarray, _words: np.ndarray) -> None:
+            nonlocal visited, last
+            visited += len(fresh)
+            last = fresh
+            if dist is not None:
+                dist[fresh] = depth
+
+        sweep = lane_sweep(
+            self.graph,
+            [source],
+            max_level,
+            pool=self.workspace,
+            on_level=on_level,
+            check=self.check_deadline,
+        )
+        return BFSResult(
+            source=source,
+            eccentricity=sweep.levels,
             visited_count=visited,
             last_frontier=last,
             dist=dist,
@@ -465,6 +643,11 @@ class TraversalKernel:
         if mark_sources:
             marks.visit(sources)
 
+        if self.batch_lanes > 0:
+            return self._levels_lanes(
+                sources, max_level, marks=marks, on_level=on_level
+            )
+
         levels: list[np.ndarray] = []
         frontier = sources
         level = 0
@@ -472,7 +655,9 @@ class TraversalKernel:
             if max_level is not None and level >= max_level:
                 break
             self.check_deadline()
-            next_frontier, _ = topdown_step(self.graph, frontier, marks)
+            next_frontier, _ = topdown_step(
+                self.graph, frontier, marks, pool=self.workspace
+            )
             if len(next_frontier) == 0:
                 break
             levels.append(next_frontier)
@@ -481,6 +666,72 @@ class TraversalKernel:
             if on_level is not None and on_level(level, next_frontier) is False:
                 break
         return levels
+
+    def _levels_lanes(
+        self,
+        sources: np.ndarray,
+        max_level: int | None,
+        *,
+        marks,
+        on_level: Callable[[int, np.ndarray], object] | None,
+    ) -> list[np.ndarray]:
+        """Merged multi-source expansion on the bit-parallel machinery.
+
+        Level sets are identical to the scalar top-down wave (first
+        touch across all sources, read out through the shared marks);
+        the sources are spread round-robin over 64 lanes so the sweep
+        exercises the lane words and the workspace's pooled lane
+        matrices — see :mod:`repro.bfs.bitparallel` (merged mode).
+        """
+        levels: list[np.ndarray] = []
+
+        def collect(depth: int, fresh: np.ndarray, _words: np.ndarray):
+            levels.append(fresh)
+            if on_level is not None and on_level(depth, fresh) is False:
+                return False
+            return None
+
+        lane_sweep(
+            self.graph,
+            sources,
+            max_level,
+            pool=self.workspace,
+            marks=marks,
+            on_level=collect,
+            check=self.check_deadline,
+        )
+        return levels
+
+    def levels_batched64(
+        self,
+        sources: Sequence[int] | np.ndarray,
+        max_level: int | None = None,
+        *,
+        on_level: Callable[[int, np.ndarray, np.ndarray], object] | None = None,
+        record_counts: bool = False,
+        record_reach: bool = False,
+    ) -> LaneSweep:
+        """Bit-parallel multi-source BFS: one sweep, up to 64 lanes per word.
+
+        Lane ``i`` runs an independent logical BFS from ``sources[i]``;
+        all lanes share every edge gather of the sweep (the whole point
+        — see :mod:`repro.bfs.bitparallel`). Returns the
+        :class:`~repro.bfs.bitparallel.LaneSweep` with per-lane
+        eccentricities; ``on_level(depth, fresh_vertices, fresh_words)``
+        exposes the per-level lane bits for distance-style read-outs.
+        Lane matrices come from the kernel workspace's pool and the
+        deadline is checked at every level.
+        """
+        return lane_sweep(
+            self.graph,
+            np.asarray(sources, dtype=np.int64),
+            max_level,
+            pool=self.workspace,
+            on_level=on_level,
+            check=self.check_deadline,
+            record_counts=record_counts,
+            record_reach=record_reach,
+        )
 
     # ------------------------------------------------------------------
     # Staggered multi-source wave (Chain Processing)
@@ -531,7 +782,9 @@ class TraversalKernel:
                 break
             self.check_deadline()
             if len(frontier):
-                frontier, _ = topdown_step(self.graph, frontier, marks)
+                frontier, _ = topdown_step(
+                    self.graph, frontier, marks, pool=self.workspace
+                )
                 if len(frontier):
                     discovered += len(frontier)
                     if on_discover is not None:

@@ -19,7 +19,19 @@ from repro.core import FDiamConfig, eccentricity_spectrum, fdiam
 from repro.errors import ReproError
 from repro.graph import degree_summary, read_graph
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "format_bytes"]
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_engines(),
         default="parallel",
         help="BFS engine: vectorized hybrid (default), scalar reference, "
-        "or the batched multi-source path",
+        "the batched multi-source path, or the bit-parallel lane sweep",
+    )
+    parser.add_argument(
+        "--bfs-batch-lanes",
+        type=int,
+        default=0,
+        metavar="K",
+        help="run multi-source waves (Winnow resume, Eliminate extension, "
+        "--spectrum) on the bit-parallel engine, up to K sources per "
+        "shared-gather sweep (0 = scalar path; 64 fills one lane word)",
     )
     parser.add_argument(
         "--no-winnow", action="store_true", help="disable the Winnow stage"
@@ -79,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.bfs_batch_lanes < 0:
+        print("error: --bfs-batch-lanes must be >= 0", file=sys.stderr)
+        return 2
     try:
         graph = read_graph(args.graph)
     except (ReproError, OSError) as exc:
@@ -97,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         use_eliminate=not args.no_eliminate,
         use_chain=not args.no_chain,
         use_max_degree_start=not args.start_vertex_zero,
+        bfs_batch_lanes=args.bfs_batch_lanes,
     )
     start = time.perf_counter()
     try:
@@ -132,19 +157,32 @@ def main(argv: list[str] | None = None) -> int:
         if ws is None:
             print("\nworkspace stats unavailable for this run")
         else:
-            print(f"\npeak scratch   : {ws.peak_scratch_bytes:,} bytes")
+            print(f"\npeak scratch   : {format_bytes(ws.peak_scratch_bytes)} "
+                  f"({ws.peak_scratch_bytes:,} bytes)")
             print(f"buffer reuse   : {ws.buffer_reuses}/{ws.buffer_requests} "
                   f"requests ({100 * ws.hit_rate:.1f}% hit rate)")
             print(f"mark epochs    : {ws.epochs}")
+            if ws.lane_requests:
+                print(f"lane buffers   : {ws.lane_reuses}/{ws.lane_requests} "
+                      f"requests ({100 * ws.lane_hit_rate:.1f}% hit rate), "
+                      f"{ws.lane_words_allocated:,} words allocated "
+                      f"({format_bytes(8 * ws.lane_words_allocated)})")
 
     if args.spectrum:
-        spec = eccentricity_spectrum(graph, engine=args.engine)
+        spec = eccentricity_spectrum(
+            graph, engine=args.engine, batch_lanes=args.bfs_batch_lanes
+        )
         print(f"\nradius    : {spec.radius} (largest component)")
         print(f"center    : {len(spec.center)} vertices "
               f"(e.g. {spec.center[:5].tolist()})")
         print(f"periphery : {len(spec.periphery)} vertices "
               f"(e.g. {spec.periphery[:5].tolist()})")
-        print(f"spectrum BFS traversals: {spec.bfs_traversals}")
+        print(f"spectrum BFS traversals: {spec.bfs_traversals} "
+              f"in {spec.sweeps} sweeps", end="")
+        if args.bfs_batch_lanes > 0:
+            print(f" (lane occupancy {100 * spec.lane_occupancy:.0f}%)")
+        else:
+            print()
     return 0
 
 

@@ -58,6 +58,13 @@ class FDiamConfig:
         top-down.
     keep_traces:
         Retain per-level BFS traces (needed by the parallel cost model).
+    bfs_batch_lanes:
+        When positive, the multi-source waves of Winnow resume and the
+        Eliminate extension run on the bit-parallel lane machinery
+        (:mod:`repro.bfs.bitparallel`, merged mode) instead of the
+        scalar top-down loop — identical level sets, shared pooled lane
+        matrices. ``0`` (the default) keeps the scalar path. This is
+        the ``--bfs-batch-lanes`` CLI switch.
     """
 
     engine: Engine = "parallel"
@@ -70,6 +77,7 @@ class FDiamConfig:
     threshold: float = DEFAULT_THRESHOLD
     directions: bool = True
     keep_traces: bool = False
+    bfs_batch_lanes: int = 0
 
     def ablate(self, **changes: object) -> "FDiamConfig":
         """A copy of this config with the given fields changed."""

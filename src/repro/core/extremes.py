@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bfs.bitparallel import lane_distances
 from repro.bfs.eccentricity import Engine
 from repro.bfs.kernel import TraversalKernel
 from repro.errors import AlgorithmError
@@ -56,10 +57,54 @@ class EccentricitySpectrum:
     periphery: np.ndarray  # vertices with ecc == diameter (any component)
     connected: bool
     bfs_traversals: int
+    #: Arcs gathered by the traversals (0 when the engine doesn't count).
+    edges_examined: int = 0
+    #: Level-synchronous sweeps executed. The scalar path runs one sweep
+    #: per traversal; the bit-parallel path amortizes up to
+    #: ``batch_lanes`` traversals per sweep, so the ratio
+    #: ``bfs_traversals / sweeps`` is the edge-gather saving.
+    sweeps: int = 0
+    #: Mean fraction of allocated lane bits actually carrying a source
+    #: (1.0 for the scalar path; < 1 when the last batch is ragged).
+    lane_occupancy: float = 0.0
+
+
+def _refine_bounds(
+    ecc_lb: np.ndarray, ecc_ub: np.ndarray, v: int, ecc_v: int, dist: np.ndarray
+) -> None:
+    """Fold one exact eccentricity's distances into the global bounds."""
+    reached = dist >= 0
+    np.maximum(
+        ecc_lb,
+        np.where(reached, np.maximum(ecc_v - dist, dist), ecc_lb),
+        out=ecc_lb,
+    )
+    np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
+    ecc_lb[v] = ecc_ub[v] = ecc_v
+
+
+def _pick_batch(
+    cand: np.ndarray, ecc_lb: np.ndarray, ecc_ub: np.ndarray, lanes: int
+) -> np.ndarray:
+    """Up to ``lanes`` open vertices, alternating the two extremes.
+
+    Interleaves the biggest-upper-bound hunters with the
+    smallest-lower-bound centre candidates (the same alternation the
+    scalar loop uses one vertex at a time), deduplicated, preserving
+    that alternation order.
+    """
+    high = cand[np.argsort(-ecc_ub[cand], kind="stable")]
+    low = cand[np.argsort(ecc_lb[cand], kind="stable")]
+    interleaved = np.empty(2 * len(cand), dtype=cand.dtype)
+    interleaved[0::2] = high
+    interleaved[1::2] = low
+    _, first = np.unique(interleaved, return_index=True)
+    picks = interleaved[np.sort(first)]
+    return picks[:lanes]
 
 
 def eccentricity_spectrum(
-    graph: CSRGraph, *, engine: Engine = "parallel"
+    graph: CSRGraph, *, engine: Engine = "parallel", batch_lanes: int = 0
 ) -> EccentricitySpectrum:
     """Compute every vertex's exact eccentricity with bound pruning.
 
@@ -67,10 +112,22 @@ def eccentricity_spectrum(
     meet (``lb == ub``); since *all* eccentricities are requested, the
     pruning is purely opportunistic, yet on real topologies it still
     resolves the bulk of the vertices without a dedicated traversal.
+
+    With ``batch_lanes > 0`` the traversals run through the
+    bit-parallel lane sweep (:mod:`repro.bfs.bitparallel`), up to
+    ``batch_lanes`` sources per sweep: each round picks the open
+    vertices the scalar loop would have picked next (alternating
+    extremes) and refines the bounds from all of their exact distance
+    rows at once. Every bound update is the same sound triangle
+    inequality, so the result is exact either way; some lanes may be
+    spent on vertices a same-round peer would have closed, which is the
+    price of sharing the edge gathers — the gather saving is reported
+    as ``bfs_traversals / sweeps``.
     """
     n = graph.num_vertices
     if n == 0:
         raise AlgorithmError("eccentricity_spectrum on an empty graph")
+    count_edges = engine == "parallel" or batch_lanes > 0
     kernel = TraversalKernel(graph, engine=engine)
 
     cc = connected_components(graph)
@@ -78,6 +135,9 @@ def eccentricity_spectrum(
     ecc_ub = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
     ecc_ub[graph.degrees == 0] = 0
     traversals = 0
+    sweeps = 0
+    edges = 0
+    occupancy_sum = 0.0
 
     for comp in range(cc.num_components):
         vertices = cc.vertices_of(comp)
@@ -91,23 +151,36 @@ def eccentricity_spectrum(
             if not open_mask.any():
                 break
             cand = np.flatnonzero(open_mask)
+            if batch_lanes > 0:
+                picks = _pick_batch(cand, ecc_lb, ecc_ub, batch_lanes)
+                dist, sweep = lane_distances(
+                    graph,
+                    picks,
+                    pool=kernel.workspace,
+                    check=kernel.check_deadline,
+                )
+                for j, v in enumerate(picks):
+                    _refine_bounds(
+                        ecc_lb, ecc_ub, int(v), int(sweep.eccentricities[j]), dist[j]
+                    )
+                traversals += len(picks)
+                sweeps += 1
+                edges += sweep.edges_examined
+                occupancy_sum += sweep.lane_occupancy
+                continue
             if pick_high:
                 v = int(cand[int(np.argmax(ecc_ub[cand]))])
             else:
                 v = int(cand[int(np.argmin(ecc_lb[cand]))])
             pick_high = not pick_high
-            res = kernel.bfs(v, record_dist=True)
+            res = kernel.bfs(v, record_dist=True, record_trace=count_edges)
             traversals += 1
-            ecc_v = res.eccentricity
+            sweeps += 1
+            occupancy_sum += 1.0
+            if res.trace is not None:
+                edges += res.trace.total_edges_examined
             dist = res.dist
-            reached = dist >= 0
-            np.maximum(
-                ecc_lb,
-                np.where(reached, np.maximum(ecc_v - dist, dist), ecc_lb),
-                out=ecc_lb,
-            )
-            np.minimum(ecc_ub, np.where(reached, ecc_v + dist, ecc_ub), out=ecc_ub)
-            ecc_lb[v] = ecc_ub[v] = ecc_v
+            _refine_bounds(ecc_lb, ecc_ub, v, res.eccentricity, dist)
             # The distances were folded into the bounds; recycle the
             # buffer so every refinement after the first reuses it.
             kernel.workspace.release_dist(dist)
@@ -138,6 +211,9 @@ def eccentricity_spectrum(
         periphery=periphery_vertices,
         connected=connected,
         bfs_traversals=traversals,
+        edges_examined=edges,
+        sweeps=sweeps,
+        lane_occupancy=occupancy_sum / sweeps if sweeps else 0.0,
     )
 
 

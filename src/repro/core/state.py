@@ -89,6 +89,7 @@ class FDiamState:
             threshold=config.threshold,
             directions=config.directions,
             deadline=deadline,
+            batch_lanes=config.bfs_batch_lanes,
         )
         #: Shared visit counter (the paper's ``counter`` parameter) —
         #: an alias of the kernel workspace's marks.

@@ -90,7 +90,8 @@ class _BoolMarks:
 
     The winnow ball must stay marked across incremental extensions, so
     it cannot share the run's epoch counter (every ``new_epoch`` would
-    forget it). Duck-types the two members :func:`topdown_step` uses.
+    forget it). Duck-types the members :func:`topdown_step` and the
+    bit-parallel merged sweep use.
     """
 
     __slots__ = ("marks", "counter")
@@ -101,3 +102,6 @@ class _BoolMarks:
 
     def visit(self, vertices: np.ndarray | int) -> None:
         self.marks[vertices] = True
+
+    def is_visited(self, vertices: np.ndarray | int) -> np.ndarray:
+        return self.marks[vertices]

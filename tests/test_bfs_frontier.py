@@ -79,3 +79,42 @@ class TestFrontierEdgeCount:
         g = from_edges([(0, 1), (0, 2), (1, 2)])
         assert frontier_edge_count(g, np.array([0])) == 2
         assert frontier_edge_count(g, np.array([0, 1, 2])) == 6
+
+
+class TestPooledArange:
+    def test_gather_rows_with_pool_matches_without(self):
+        from repro.bfs.kernel import Workspace
+
+        indices = np.arange(20, dtype=np.int64)
+        starts = np.array([0, 5, 5, 12])
+        stops = np.array([5, 5, 12, 20])
+        plain_values, plain_lengths = gather_rows(indices, starts, stops)
+        pool = Workspace(8)
+        pooled_values, pooled_lengths = gather_rows(
+            indices, starts, stops, pool=pool
+        )
+        assert pooled_values.tolist() == plain_values.tolist()
+        assert pooled_lengths.tolist() == plain_lengths.tolist()
+
+    def test_gather_neighbors_threads_pool(self):
+        from repro.bfs.kernel import Workspace
+
+        g = star_graph(6)
+        pool = Workspace(g.num_vertices)
+        plain = gather_neighbors(g, np.array([0]))
+        pooled = gather_neighbors(g, np.array([0]), pool=pool)
+        assert sorted(pooled.tolist()) == sorted(plain.tolist())
+
+    def test_arange_scratch_grows_and_is_reused(self):
+        from repro.bfs.kernel import Workspace
+
+        pool = Workspace(4)
+        small = pool.arange(10)
+        assert small.tolist() == list(range(10))
+        first_base = pool.arange(8).base
+        # Same backing buffer while the request fits.
+        assert pool.arange(10).base is first_base
+        big = pool.arange(5_000)
+        assert big.tolist() == list(range(5_000))
+        # Growth replaced the buffer; the ramp is still correct.
+        assert pool.arange(10).tolist() == list(range(10))

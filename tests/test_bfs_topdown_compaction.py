@@ -1,0 +1,93 @@
+"""Tests for the adaptive frontier deduplication in the top-down step.
+
+``compact_unique`` sorts small fresh sets with ``np.unique`` but claims
+large ones into a pooled flag array and compacts with
+``np.flatnonzero``. Both paths must produce identical frontiers, and
+the claim path must restore the pooled flag's all-False contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.bfs.frontier as frontier_mod
+from repro.bfs.frontier import compact_unique
+from repro.bfs.kernel import TraversalKernel, Workspace
+from repro.bfs.topdown import topdown_step
+from repro.bfs.visited import VisitMarks
+from repro.generators import barabasi_albert
+from repro.graph import from_edges
+
+
+def random_graph(n, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    pairs = {
+        (min(u, v), max(u, v))
+        for u, v in rng.integers(0, n, size=(num_edges, 2))
+        if u != v
+    }
+    return from_edges(sorted(pairs), num_vertices=n)
+
+
+class TestCompactUnique:
+    @pytest.mark.parametrize("size", [0, 1, 50, 5_000])
+    def test_matches_np_unique(self, size):
+        rng = np.random.default_rng(size)
+        values = rng.integers(0, 1_000, size=size)
+        np.testing.assert_array_equal(
+            compact_unique(values, 1_000), np.unique(values)
+        )
+
+    def test_claim_path_forced(self, monkeypatch):
+        monkeypatch.setattr(frontier_mod, "CLAIM_FRACTION", 0.0)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 500, size=200)
+        # size 200 >= max(64, 0) -> claim path, with and without a pool
+        pool = Workspace(500)
+        for p in (None, pool):
+            np.testing.assert_array_equal(
+                compact_unique(values, 500, pool=p), np.unique(values)
+            )
+
+    def test_claim_flag_restored_all_false(self, monkeypatch):
+        monkeypatch.setattr(frontier_mod, "CLAIM_FRACTION", 0.0)
+        pool = Workspace(300)
+        values = np.arange(100, dtype=np.int64).repeat(2)
+        compact_unique(values, 300, pool=pool)
+        assert not pool.claim_flag().any()
+
+
+class TestTopdownFrontiers:
+    def test_both_paths_identical_frontiers(self, monkeypatch):
+        # Run the same traversal once per dedup strategy and assert the
+        # frontiers agree level by level.
+        g = random_graph(400, 1_200, seed=3)
+
+        def run(claim_fraction):
+            monkeypatch.setattr(frontier_mod, "CLAIM_FRACTION", claim_fraction)
+            marks = VisitMarks(g.num_vertices)
+            marks.new_epoch()
+            marks.visit(0)
+            frontier = np.array([0], dtype=np.int64)
+            levels = []
+            pool = Workspace(g.num_vertices)
+            while len(frontier):
+                frontier, _ = topdown_step(g, frontier, marks, pool=pool)
+                levels.append(frontier.copy())
+            return levels
+
+        sort_levels = run(2.0)  # np.unique always
+        claim_levels = run(0.0)  # claim + flatnonzero always
+        assert len(sort_levels) == len(claim_levels)
+        for a, b in zip(sort_levels, claim_levels):
+            np.testing.assert_array_equal(a, b)
+
+    def test_full_bfs_unaffected_by_strategy(self, monkeypatch):
+        g = barabasi_albert(500, 3, seed=2)
+        kernel = TraversalKernel(g, directions=False)
+        ref = kernel.bfs(0, record_dist=True)
+        monkeypatch.setattr(frontier_mod, "CLAIM_FRACTION", 0.0)
+        forced = TraversalKernel(g, directions=False).bfs(0, record_dist=True)
+        assert forced.eccentricity == ref.eccentricity
+        np.testing.assert_array_equal(forced.dist, ref.dist)
