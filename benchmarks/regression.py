@@ -6,7 +6,7 @@ graphs (the paper-analog inputs are deterministic — same seed, same
 graph, same traversal counts on every machine) and emits a
 ``BENCH_<date>.json`` snapshot:
 
-* per-stage wall time (median of ``--repeats``),
+* per-stage wall time (best of ``--repeats``, after a warmup),
 * deterministic work counters — edges examined, BFS count, sweep
   count, lane occupancy — which are *exactly* reproducible,
 * environment info for provenance.
@@ -29,7 +29,6 @@ import argparse
 import datetime as _dt
 import json
 import platform
-import statistics
 import sys
 import time
 from pathlib import Path
@@ -62,14 +61,23 @@ STRICT_KEYS = ("edges_examined", "bfs_count", "sweeps")
 
 
 def _timed(fn, repeats: int):
-    """Median wall seconds of ``repeats`` calls, plus the last result."""
+    """Best (minimum) wall seconds of ``repeats`` calls, plus the last result.
+
+    One untimed warmup call runs first so lazy imports, pooled-buffer
+    allocation, and page faults don't land in any sample; the minimum is
+    then the least-contaminated estimate of the stage's intrinsic cost
+    (the ``timeit`` rationale) — medians of sequentially-run stages
+    drift with CPU frequency, penalizing whichever stage runs later
+    even when the work is instruction-identical.
+    """
+    fn()
     samples = []
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         result = fn()
         samples.append(time.perf_counter() - t0)
-    return statistics.median(samples), result
+    return min(samples), result
 
 
 def _stage_bfs_hybrid(graph, repeats):
@@ -91,6 +99,7 @@ def _stage_fdiam(graph, repeats):
     return {
         "wall_s": wall,
         "bfs_count": res.stats.bfs_traversals,
+        "edges_examined": res.stats.edges_examined,
         "diameter": res.diameter,
     }
 
@@ -101,7 +110,27 @@ def _stage_fdiam_lanes64(graph, repeats):
     return {
         "wall_s": wall,
         "bfs_count": res.stats.bfs_traversals,
+        "edges_examined": res.stats.edges_examined,
+        "lane_fallbacks": res.stats.lane_fallbacks,
         "diameter": res.diameter,
+    }
+
+
+def _stage_fdiam_prep(graph, repeats):
+    config = FDiamConfig(prep="auto")
+    wall, res = _timed(lambda: fdiam(graph, config), repeats)
+    prep = res.stats.prep
+    return {
+        "wall_s": wall,
+        "bfs_count": res.stats.bfs_traversals,
+        "edges_examined": res.stats.edges_examined,
+        "diameter": res.diameter,
+        "prep_vertices_removed": prep.vertices_removed if prep else 0,
+        "prep_edges_removed": prep.edges_removed if prep else 0,
+        "prep_components_skipped": prep.components_skipped if prep else 0,
+        "prep_tip_batch_components": prep.tip_batch_components if prep else 0,
+        "prep_edge_span_before": prep.edge_span_before if prep else 0,
+        "prep_edge_span_after": prep.edge_span_after if prep else 0,
     }
 
 
@@ -135,6 +164,7 @@ STAGES = {
     "bfs_hybrid": (_stage_bfs_hybrid, True),
     "fdiam": (_stage_fdiam, True),
     "fdiam_lanes64": (_stage_fdiam_lanes64, True),
+    "fdiam_prep": (_stage_fdiam_prep, True),
     "spectrum_scalar": (lambda g, r: _stage_spectrum(g, r, 0), False),
     "spectrum_lanes64": (lambda g, r: _stage_spectrum(g, r, 64), True),
     "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
@@ -175,6 +205,17 @@ def run_suite(
             key = f"{name}/{stage}"
             print(f"  running {key} ...", flush=True)
             snapshot["stages"][key] = fn(graph, repeats)
+        plain = snapshot["stages"].get(f"{name}/fdiam")
+        prep = snapshot["stages"].get(f"{name}/fdiam_prep")
+        if plain and prep:
+            # The prep pipeline's headline: how much traversal work the
+            # reductions + planner shave off the plain run (> 1 = win).
+            prep["bfs_ratio_vs_plain"] = round(
+                plain["bfs_count"] / max(prep["bfs_count"], 1), 3
+            )
+            prep["edge_ratio_vs_plain"] = round(
+                plain["edges_examined"] / max(prep["edges_examined"], 1), 3
+            )
         scalar = snapshot["stages"].get(f"{name}/spectrum_scalar")
         lanes = snapshot["stages"].get(f"{name}/spectrum_lanes64")
         if scalar and lanes:
@@ -246,7 +287,7 @@ def main(argv=None) -> int:
         help="date stamp for the snapshot / default filename (YYYY-MM-DD)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=1, help="wall-time samples per stage (median)"
+        "--repeats", type=int, default=1, help="wall-time samples per stage (best-of, after one warmup)"
     )
     parser.add_argument(
         "--compare",

@@ -24,13 +24,16 @@ The package is organized into:
   Eliminate, incremental extension).
 * :mod:`repro.baselines` — iFUB, Graph-Diameter, Korf, Takes–Kosters,
   and naive all-eccentricity baselines.
+* :mod:`repro.prep` — exactness-preserving preprocessing (pendant-tree
+  peeling, mirror-vertex collapsing, vertex reordering, per-component
+  planning) behind the ``--prep`` switch.
 * :mod:`repro.parallel` — chunked executor and the level-synchronous
   parallel cost model used for the thread-scaling study.
 * :mod:`repro.harness` — benchmark workloads, runners, and the
   table/figure emitters reproducing the paper's evaluation section.
 """
 
-from repro import baselines, bfs, core, generators, graph, harness, parallel
+from repro import baselines, bfs, core, generators, graph, harness, parallel, prep
 from repro._version import __version__
 from repro.core.fdiam import DiameterResult, fdiam
 from repro.errors import (
@@ -60,5 +63,6 @@ __all__ = [
     "graph",
     "harness",
     "parallel",
+    "prep",
     "read_graph",
 ]

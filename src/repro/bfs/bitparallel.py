@@ -253,69 +253,79 @@ def lane_sweep(
     frontier = np.unique(sources)
     level = 0
     edges = 0
-    while len(frontier):
-        if max_level is not None and level >= max_level:
-            break
-        if check is not None:
-            check()
-        # Discovery: which vertices border the frontier at all. This
-        # gather is shared by every lane in the batch.
-        neigh, _ = gather_rows(
-            indices, indptr[frontier], indptr[frontier + 1], pool=pool
-        )
-        edges += len(neigh)
-        if len(neigh) == 0:
-            break
-        cand = compact_unique(neigh, n, pool=pool)
-        if merged:
-            cand = cand[~np.asarray(marks.is_visited(cand), dtype=bool)]
-        else:
-            cand = cand[(reach[cand] != full).any(axis=1)]  # drop saturated
-        if len(cand) == 0:
-            break
-        # Pull: each candidate ORs its neighbours' frontier lane words.
-        vals, lengths = gather_rows(
-            indices, indptr[cand], indptr[cand + 1], pool=pool
-        )
-        edges += len(vals)
-        pulled = segmented_or(front[vals], lengths)
-        if merged:
-            # Every candidate has a frontier neighbour by construction,
-            # so all of them are fresh under first-touch semantics.
-            fresh, fresh_words = cand, pulled
-            marks.visit(fresh)
-        else:
-            pulled &= ~reach[cand]
-            live = np.flatnonzero((pulled != _ZERO).any(axis=1))
-            if len(live) == 0:
+    # The level loop runs user callbacks (on_level, deadline checks)
+    # that may raise mid-level; the try/finally guarantees the pooled
+    # lane matrices always go back to the pool (release_lanes itself
+    # guards against double releases), closing the leak where an abort
+    # stranded a front/reach matrix and the next sweep allocated anew.
+    try:
+        while len(frontier):
+            if max_level is not None and level >= max_level:
                 break
-            fresh = cand[live]
-            fresh_words = pulled[live]
-            reach[fresh] |= fresh_words
-        front[frontier] = _ZERO
-        front[fresh] = fresh_words
-        frontier = fresh
-        level += 1
-        advanced = np.bitwise_or.reduce(fresh_words, axis=0)
-        ecc[(advanced[word_idx] & bits) != _ZERO] = level
-        if on_level is not None and on_level(level, fresh, fresh_words) is False:
-            break
+            if check is not None:
+                check()
+            # Discovery: which vertices border the frontier at all. This
+            # gather is shared by every lane in the batch.
+            neigh, _ = gather_rows(
+                indices, indptr[frontier], indptr[frontier + 1], pool=pool
+            )
+            edges += len(neigh)
+            if len(neigh) == 0:
+                break
+            cand = compact_unique(neigh, n, pool=pool)
+            if merged:
+                cand = cand[~np.asarray(marks.is_visited(cand), dtype=bool)]
+            else:
+                cand = cand[(reach[cand] != full).any(axis=1)]  # drop saturated
+            if len(cand) == 0:
+                break
+            # Pull: each candidate ORs its neighbours' frontier lane words.
+            vals, lengths = gather_rows(
+                indices, indptr[cand], indptr[cand + 1], pool=pool
+            )
+            edges += len(vals)
+            pulled = segmented_or(front[vals], lengths)
+            if merged:
+                # Every candidate has a frontier neighbour by construction,
+                # so all of them are fresh under first-touch semantics.
+                fresh, fresh_words = cand, pulled
+                marks.visit(fresh)
+            else:
+                pulled &= ~reach[cand]
+                live = np.flatnonzero((pulled != _ZERO).any(axis=1))
+                if len(live) == 0:
+                    break
+                fresh = cand[live]
+                fresh_words = pulled[live]
+                reach[fresh] |= fresh_words
+            front[frontier] = _ZERO
+            front[fresh] = fresh_words
+            frontier = fresh
+            level += 1
+            advanced = np.bitwise_or.reduce(fresh_words, axis=0)
+            ecc[(advanced[word_idx] & bits) != _ZERO] = level
+            if on_level is not None and on_level(level, fresh, fresh_words) is False:
+                break
+        counts = None
+        if record_counts:
+            counts = np.zeros(k, dtype=np.int64)
+            if merged:
+                counts += 1  # sources only; merged read-out lives in the marks
+            else:
+                for j in range(k):
+                    counts[j] = int(
+                        ((reach[:, word_idx[j]] & bits[j]) != _ZERO).sum()
+                    )
+    finally:
+        front[frontier] = _ZERO  # pooled buffers go back clean
+        if pool is not None:
+            pool.release_lanes(front)
+            if reach is not None and not record_reach:
+                pool.release_lanes(reach)
+            stats = getattr(pool, "stats", None)
+            if stats is not None:
+                stats.edges_examined += edges
 
-    front[frontier] = _ZERO  # pooled buffers go back clean
-    counts = None
-    if record_counts:
-        counts = np.zeros(k, dtype=np.int64)
-        if merged:
-            counts += 1  # sources only; merged read-out lives in the marks
-        else:
-            for j in range(k):
-                counts[j] = int(
-                    ((reach[:, word_idx[j]] & bits[j]) != _ZERO).sum()
-                )
-    if pool is not None:
-        pool.release_lanes(front)
-        if reach is not None and not record_reach:
-            pool.release_lanes(reach)
     return LaneSweep(
         sources=sources,
         width=width,

@@ -121,9 +121,16 @@ def compact_unique(
     if len(values) < max(64, int(num_vertices * CLAIM_FRACTION)):
         return np.unique(values)
     flag = pool.claim_flag() if pool is not None else np.zeros(num_vertices, dtype=bool)
-    flag[values] = True
-    out = np.flatnonzero(flag)
-    flag[out] = False  # restore the all-False contract
+    try:
+        flag[values] = True
+        out = np.flatnonzero(flag)
+        flag[out] = False  # restore the all-False contract
+    except BaseException:
+        # A compaction dying mid-way (out-of-memory, interrupt) must not
+        # hand a dirty pooled claim flag to the next large-set
+        # compaction; the full clear only runs on this cold path.
+        flag[:] = False
+        raise
     return out
 
 

@@ -118,7 +118,13 @@ class WorkspaceStats:
     generic counters and ``lane_words_allocated`` totals the ``uint64``
     lane words ever allocated. ``peak_scratch_bytes`` is the high-water
     mark of all scratch memory owned by the workspace (visit marks
-    included).
+    included), while ``owned_bytes`` tracks what is *resident* in the
+    workspace right now — the singleton flags/ramp plus every pooled
+    distance buffer and lane matrix. ``CSRGraph.memory_bytes`` knows
+    nothing about this scratch, so ``owned_bytes`` is what the
+    ``--workspace-stats`` report adds to the graph's own footprint.
+    ``edges_examined`` totals the arcs gathered by every traversal that
+    ran on the workspace (top-down, bottom-up, and lane sweeps alike).
     """
 
     buffer_requests: int = 0
@@ -128,7 +134,9 @@ class WorkspaceStats:
     lane_words_allocated: int = 0
     allocated_bytes: int = 0
     peak_scratch_bytes: int = 0
+    owned_bytes: int = 0
     epochs: int = 0
+    edges_examined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -193,6 +201,28 @@ class Workspace:
         self._dist_pool: list[np.ndarray] = []
         #: Free lists of released lane matrices, keyed by word width.
         self._lane_pool: dict[int, list[np.ndarray]] = {}
+        self._sync_owned()
+
+    def owned_bytes(self) -> int:
+        """Bytes currently resident in the workspace.
+
+        Visit marks, the singleton flag/claim/ramp buffers, and every
+        buffer sitting in the distance and lane pools. Buffers lent out
+        to a running traversal are *not* counted (they show up again
+        once released); ``stats.allocated_bytes`` covers live-but-lent
+        memory and ``stats.peak_scratch_bytes`` its high-water mark.
+        """
+        total = self.marks.marks.nbytes
+        for buf in (self._flag, self._claim, self._arange):
+            if buf is not None:
+                total += buf.nbytes
+        total += sum(d.nbytes for d in self._dist_pool)
+        for pool in self._lane_pool.values():
+            total += sum(m.nbytes for m in pool)
+        return total
+
+    def _sync_owned(self) -> None:
+        self.stats.owned_bytes = self.owned_bytes()
 
     def new_epoch(self) -> int:
         """Start a fresh traversal epoch on the shared marks."""
@@ -209,6 +239,7 @@ class Workspace:
         if self._flag is None:
             self._flag = np.zeros(self.num_vertices, dtype=bool)
             self.stats._record_alloc(self._flag.nbytes)
+            self._sync_owned()
         else:
             self.stats.buffer_reuses += 1
         return self._flag
@@ -225,6 +256,7 @@ class Workspace:
         if self._claim is None:
             self._claim = np.zeros(self.num_vertices, dtype=bool)
             self.stats._record_alloc(self._claim.nbytes)
+            self._sync_owned()
         else:
             self.stats.buffer_reuses += 1
         return self._claim
@@ -244,6 +276,7 @@ class Workspace:
                 self.stats._record_free(self._arange.nbytes)
             self._arange = np.arange(size, dtype=np.int64)
             self.stats._record_alloc(self._arange.nbytes)
+            self._sync_owned()
         else:
             self.stats.buffer_reuses += 1
         return self._arange[:total]
@@ -262,6 +295,7 @@ class Workspace:
             self.stats.lane_reuses += 1
             lanes = pool.pop()
             lanes.fill(0)
+            self._sync_owned()
             return lanes
         lanes = np.zeros((self.num_vertices, width), dtype=np.uint64)
         self.stats.lane_words_allocated += self.num_vertices * width
@@ -271,18 +305,28 @@ class Workspace:
     def release_lanes(self, lanes: np.ndarray | None) -> None:
         """Return a lane matrix to the pool for reuse.
 
-        Accepts ``None`` and foreign arrays gracefully; the per-width
-        pool is capped like the distance pool (a sweep holds at most a
-        reach and a frontier matrix at once).
+        Accepts ``None`` and foreign arrays gracefully. Re-releasing a
+        matrix that is already pooled is a no-op (the identity guard
+        closes the double-free where one buffer could later be handed
+        to two concurrent sweeps at once). When the per-width pool is
+        at capacity the matrix is dropped and its bytes leave the
+        live-allocation accounting.
         """
         if (
-            lanes is not None
-            and lanes.ndim == 2
-            and lanes.dtype == np.uint64
-            and lanes.shape[0] == self.num_vertices
-            and len(self._lane_pool.setdefault(lanes.shape[1], [])) < 4
+            lanes is None
+            or lanes.ndim != 2
+            or lanes.dtype != np.uint64
+            or lanes.shape[0] != self.num_vertices
         ):
-            self._lane_pool[lanes.shape[1]].append(lanes)
+            return
+        pool = self._lane_pool.setdefault(lanes.shape[1], [])
+        if any(entry is lanes for entry in pool):
+            return
+        if len(pool) < 4:
+            pool.append(lanes)
+        else:
+            self.stats._record_free(lanes.nbytes)
+        self._sync_owned()
 
     def acquire_dist(self) -> np.ndarray:
         """A distance buffer pre-filled with ``-1``, pooled when possible."""
@@ -291,6 +335,7 @@ class Workspace:
             self.stats.buffer_reuses += 1
             dist = self._dist_pool.pop()
             dist.fill(-1)
+            self._sync_owned()
             return dist
         dist = np.full(self.num_vertices, -1, dtype=np.int64)
         self.stats._record_alloc(dist.nbytes)
@@ -300,18 +345,27 @@ class Workspace:
         """Return a distance buffer to the pool for reuse.
 
         Accepts ``None`` and foreign arrays gracefully so callers can
-        unconditionally recycle ``result.dist``. The pool is capped at
-        a handful of buffers; traversal patterns never hold more than
-        two distance arrays at once (the midpoint computations), so a
-        larger pool would only pin memory.
+        unconditionally recycle ``result.dist``; re-releasing a pooled
+        buffer is a no-op (same double-free guard as
+        :meth:`release_lanes`). The pool is capped at a handful of
+        buffers; traversal patterns never hold more than two distance
+        arrays at once (the midpoint computations), so a larger pool
+        would only pin memory — dropped buffers leave the
+        live-allocation accounting.
         """
         if (
-            dist is not None
-            and dist.dtype == np.int64
-            and len(dist) == self.num_vertices
-            and len(self._dist_pool) < 4
+            dist is None
+            or dist.dtype != np.int64
+            or len(dist) != self.num_vertices
         ):
+            return
+        if any(entry is dist for entry in self._dist_pool):
+            return
+        if len(self._dist_pool) < 4:
             self._dist_pool.append(dist)
+        else:
+            self.stats._record_free(dist.nbytes)
+        self._sync_owned()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -476,6 +530,7 @@ class TraversalKernel:
             else:
                 next_frontier, edges = topdown_step(graph, frontier, marks, pool=ws)
                 direction = Direction.TOP_DOWN
+            ws.stats.edges_examined += edges
             if trace is not None:
                 trace.record(
                     frontier_size=len(frontier),
@@ -655,9 +710,10 @@ class TraversalKernel:
             if max_level is not None and level >= max_level:
                 break
             self.check_deadline()
-            next_frontier, _ = topdown_step(
+            next_frontier, edges = topdown_step(
                 self.graph, frontier, marks, pool=self.workspace
             )
+            self.workspace.stats.edges_examined += edges
             if len(next_frontier) == 0:
                 break
             levels.append(next_frontier)
@@ -782,9 +838,10 @@ class TraversalKernel:
                 break
             self.check_deadline()
             if len(frontier):
-                frontier, _ = topdown_step(
+                frontier, edges = topdown_step(
                     self.graph, frontier, marks, pool=self.workspace
                 )
+                self.workspace.stats.edges_examined += edges
                 if len(frontier):
                     discovered += len(frontier)
                     if on_discover is not None:

@@ -64,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
         "shared-gather sweep (0 = scalar path; 64 fills one lane word)",
     )
     parser.add_argument(
+        "--prep",
+        default="off",
+        metavar="SPEC",
+        help="exactness-preserving preprocessing before F-Diam: 'off' "
+        "(default), 'auto' (peel + collapse + reorder + per-component "
+        "planning), or a comma list of peel, collapse, "
+        "reorder[=degree|bfs|rcm|auto], plan",
+    )
+    parser.add_argument(
         "--no-winnow", action="store_true", help="disable the Winnow stage"
     )
     parser.add_argument(
@@ -122,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         use_chain=not args.no_chain,
         use_max_degree_start=not args.start_vertex_zero,
         bfs_batch_lanes=args.bfs_batch_lanes,
+        prep=args.prep,
     )
     start = time.perf_counter()
     try:
@@ -143,8 +153,31 @@ def main(argv: list[str] | None = None) -> int:
         stats = result.stats
         print(f"\nBFS traversals : {stats.bfs_traversals} "
               f"({stats.eccentricity_bfs} eccentricity + {stats.winnow_calls} winnow)")
+        print(f"edges examined : {stats.edges_examined:,}")
         print(f"initial bound  : {stats.initial_bound} "
               f"({stats.bound_updates} upgrades)")
+        if stats.prep is not None:
+            prep = stats.prep
+            print(f"prep stages    : {', '.join(prep.stages) or 'none'}")
+            print(f"  peel         : -{prep.peel_vertices_removed} vertices "
+                  f"(-{prep.peel_edges_removed} edges, "
+                  f"{prep.peel_anchors} anchors, "
+                  f"{prep.peel_spine_vertices} spine vertices)")
+            print(f"  collapse     : -{prep.mirror_vertices_removed} vertices "
+                  f"({prep.mirror_open_groups} open + "
+                  f"{prep.mirror_closed_groups} closed mirror groups)")
+            print(f"  components   : {prep.components_solved} solved, "
+                  f"{prep.components_skipped} skipped "
+                  f"({prep.lane_components} lane, "
+                  f"{prep.scalar_components} scalar, "
+                  f"{prep.tip_batch_components} tip-batched)")
+            if prep.reorder_strategies:
+                picked = ", ".join(
+                    f"{k}×{v}" for k, v in sorted(prep.reorder_strategies.items())
+                )
+                print(f"  reorder      : {picked} "
+                      f"(edge span {prep.edge_span_before:,} → "
+                      f"{prep.edge_span_after:,})")
         print("removed by     :")
         for stage, frac in stats.removal_fractions().items():
             print(f"  {stage:10s} {100 * frac:6.2f}%")
@@ -159,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"\npeak scratch   : {format_bytes(ws.peak_scratch_bytes)} "
                   f"({ws.peak_scratch_bytes:,} bytes)")
+            print(f"owned memory   : {format_bytes(ws.owned_bytes)} "
+                  f"({ws.owned_bytes:,} bytes resident, pooled lane "
+                  f"matrices included)")
             print(f"buffer reuse   : {ws.buffer_reuses}/{ws.buffer_requests} "
                   f"requests ({100 * ws.hit_rate:.1f}% hit rate)")
             print(f"mark epochs    : {ws.epochs}")
@@ -179,7 +215,9 @@ def main(argv: list[str] | None = None) -> int:
               f"(e.g. {spec.periphery[:5].tolist()})")
         print(f"spectrum BFS traversals: {spec.bfs_traversals} "
               f"in {spec.sweeps} sweeps", end="")
-        if args.bfs_batch_lanes > 0:
+        if spec.lane_fallback:
+            print(" (lane batch dropped to scalar by the cost model)")
+        elif args.bfs_batch_lanes > 0:
             print(f" (lane occupancy {100 * spec.lane_occupancy:.0f}%)")
         else:
             print()

@@ -33,11 +33,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bfs.bitparallel import LANE_WIDTH
 from repro.core.state import MAX_BOUND, FDiamState
 from repro.core.stats import Reason
 from repro.graph.degrees import degree_one_vertices
 
-__all__ = ["process_chains", "follow_chain"]
+__all__ = ["process_chains", "follow_chain", "batch_tip_eccentricities"]
 
 
 def follow_chain(state: FDiamState, tip: int) -> tuple[int, int]:
@@ -128,7 +129,54 @@ def process_chains(state: FDiamState) -> int:
     representative: dict[tuple[int, int], int] = {}
     for tip, anchor, length in zip(tips, anchors, lengths):
         representative[(anchor, length)] = int(tip)
-    for tip in representative.values():
+    batchable: list[tuple[int, int, int]] = []
+    for (anchor, length), tip in representative.items():
         if tip_step[tip] == max_len or tip_step[tip] == -1 or is_anchor[tip]:
             state.reactivate(tip)
+            if not is_anchor[tip]:
+                batchable.append((tip, anchor, length))
+    if state.config.chain_tip_batch and batchable:
+        batch_tip_eccentricities(state, batchable)
     return len(tips)
+
+
+def batch_tip_eccentricities(
+    state: FDiamState, tips: list[tuple[int, int, int]]
+) -> int:
+    """Resolve surviving chain tips with lane sweeps from their anchors.
+
+    ``tips`` holds ``(tip, anchor, length)`` triples of pendant tips (a
+    pendant tip is reachable only through its chain, so
+    ``d(tip, x) = length + d(anchor, x)`` for every ``x`` outside it).
+    One bit-parallel sweep yields up to 64 anchor eccentricities at
+    once; a tip whose anchor eccentricity exceeds its chain length —
+    the eccentricity is then realized *outside* the tip's own chain —
+    gets the exact value ``length + ecc(anchor)`` and is removed.
+    Tips whose anchor eccentricity equals the chain length (the anchor's
+    farthest vertex may be the tip itself, e.g. a pure path component)
+    stay active for the scalar main loop; fewer than that is impossible
+    because the tip sits at exactly ``length`` hops.
+
+    Each physical sweep counts as one traversal under the Table 3
+    convention. Returns the number of tips resolved.
+    """
+    stats = state.stats
+    old_bound = state.bound
+    resolved = 0
+    for base in range(0, len(tips), LANE_WIDTH):
+        chunk = tips[base : base + LANE_WIDTH]
+        sources = np.array([anchor for _, anchor, _ in chunk], dtype=np.int64)
+        sweep = state.kernel.levels_batched64(sources)
+        stats.eccentricity_bfs += 1
+        for (tip, _, length), anchor_ecc in zip(
+            chunk, sweep.eccentricities.tolist()
+        ):
+            if anchor_ecc > length:
+                tip_ecc = length + anchor_ecc
+                state.remove(tip, np.int64(tip_ecc), Reason.CHAIN)
+                resolved += 1
+                if tip_ecc > state.bound:
+                    state.bound = tip_ecc
+    if state.bound > old_bound:
+        stats.bound_updates += 1
+    return resolved

@@ -65,6 +65,31 @@ class FDiamConfig:
         scalar top-down loop — identical level sets, shared pooled lane
         matrices. ``0`` (the default) keeps the scalar path. This is
         the ``--bfs-batch-lanes`` CLI switch.
+    lane_fallback:
+        Let the run drop a requested lane batch back to the scalar path
+        when the cost model advises against it — after the 2-sweep, the
+        initial bound is compared against the model's merged-wave level
+        cap (high-diameter graphs pay lane-word traffic over hundreds of
+        near-empty levels for nothing). ``False`` forces the lanes to
+        stay on regardless, for A/B measurements.
+    chain_tip_batch:
+        Resolve the chain tips that survive Chain Processing with one
+        bit-parallel lane sweep from their anchors instead of one
+        scalar eccentricity BFS each: a pendant tip ``x`` whose chain
+        of length ``s`` anchors at ``w`` has ``ecc(x) = s + ecc(w)``
+        whenever ``ecc(w) > s`` (the farthest vertex from ``w`` then
+        provably lies outside the chain), and one lane sweep yields up
+        to 64 anchor eccentricities in a single traversal. Exact; off
+        by default so the plain path reproduces the paper's per-tip
+        counters — the prep planner turns it on for components whose
+        estimated diameter fits the lane-mode level budget.
+    prep:
+        The ``--prep`` reduction pipeline specification: ``"off"``
+        (default) runs plain F-Diam; ``"auto"`` enables every stage
+        (peel, collapse, reorder, per-component planning); a comma list
+        picks stages explicitly — see
+        :class:`repro.prep.plan.PrepSpec`. Exactness-preserving: the
+        returned diameter is identical with any value.
     """
 
     engine: Engine = "parallel"
@@ -78,6 +103,9 @@ class FDiamConfig:
     directions: bool = True
     keep_traces: bool = False
     bfs_batch_lanes: int = 0
+    lane_fallback: bool = True
+    chain_tip_batch: bool = False
+    prep: str = "off"
 
     def ablate(self, **changes: object) -> "FDiamConfig":
         """A copy of this config with the given fields changed."""

@@ -67,6 +67,9 @@ class EccentricitySpectrum:
     #: Mean fraction of allocated lane bits actually carrying a source
     #: (1.0 for the scalar path; < 1 when the last batch is ragged).
     lane_occupancy: float = 0.0
+    #: Whether a requested lane batch was dropped back to the scalar
+    #: path because the cost model advised against it (``auto_fallback``).
+    lane_fallback: bool = False
 
 
 def _refine_bounds(
@@ -104,7 +107,11 @@ def _pick_batch(
 
 
 def eccentricity_spectrum(
-    graph: CSRGraph, *, engine: Engine = "parallel", batch_lanes: int = 0
+    graph: CSRGraph,
+    *,
+    engine: Engine = "parallel",
+    batch_lanes: int = 0,
+    auto_fallback: bool = True,
 ) -> EccentricitySpectrum:
     """Compute every vertex's exact eccentricity with bound pruning.
 
@@ -123,10 +130,31 @@ def eccentricity_spectrum(
     spent on vertices a same-round peer would have closed, which is the
     price of sharing the edge gathers — the gather saving is reported
     as ``bfs_traversals / sweeps``.
+
+    ``auto_fallback`` (default on) lets the cost model veto a requested
+    lane batch from the graph's structure alone: on high-estimated-
+    diameter inputs the lane sweep re-gathers the same edges over
+    hundreds of thin levels (the measured 23× gather-pass blow-up on
+    road meshes), so the request silently drops to the scalar path and
+    ``lane_fallback`` is set on the result. Pass ``False`` to force the
+    lanes for A/B measurements.
     """
     n = graph.num_vertices
     if n == 0:
         raise AlgorithmError("eccentricity_spectrum on an empty graph")
+    fell_back = False
+    if batch_lanes > 0 and auto_fallback:
+        # Call-time import: repro.parallel's package init pulls the
+        # scaling study, which imports the core layer.
+        from repro.parallel.costmodel import LevelSynchronousCostModel
+
+        model = LevelSynchronousCostModel()
+        estimate = model.estimate_diameter(
+            n, graph.num_directed_edges, graph.max_degree()
+        )
+        if not model.lane_batch_advisable(estimate, batch_lanes, merged=False):
+            batch_lanes = 0
+            fell_back = True
     count_edges = engine == "parallel" or batch_lanes > 0
     kernel = TraversalKernel(graph, engine=engine)
 
@@ -214,6 +242,7 @@ def eccentricity_spectrum(
         edges_examined=edges,
         sweeps=sweeps,
         lane_occupancy=occupancy_sum / sweeps if sweeps else 0.0,
+        lane_fallback=fell_back,
     )
 
 

@@ -78,8 +78,20 @@ def fdiam(
     """Compute the exact diameter of ``graph`` (see :func:`fdiam_with_state`).
 
     This is the public entry point; it discards the internal run state.
+    With ``config.prep`` set (anything other than ``"off"``), the run
+    first goes through the exactness-preserving reduction pipeline of
+    :mod:`repro.prep` — pendant-tree peeling, mirror collapsing,
+    per-component reordering and engine planning — and the per-component
+    results are merged back into one :class:`DiameterResult` carrying
+    the identical diameter (and infinity convention) as the plain path.
     """
-    result, _ = fdiam_with_state(graph, config, deadline=deadline)
+    effective = config or FDiamConfig()
+    if effective.prep not in ("", "off", "none"):
+        # Local import: repro.prep sits above the core layer.
+        from repro.prep.pipeline import fdiam_prepped
+
+        return fdiam_prepped(graph, effective, deadline=deadline)
+    result, _ = fdiam_with_state(graph, effective, deadline=deadline)
     return result
 
 
@@ -148,6 +160,26 @@ def fdiam_with_state(
     stats.initial_bound = sweep.bound
     connected = sweep.visited_from_start == n
 
+    # With lanes requested, re-check against the cost model now that the
+    # 2-sweep has produced a real diameter lower bound: merged lane
+    # waves lose to the scalar path on high-diameter graphs (road maps),
+    # where the word traffic is spread over hundreds of thin levels.
+    if (
+        config.lane_fallback
+        and config.bfs_batch_lanes > 0
+        and state.kernel.batch_lanes > 0
+    ):
+        # Call-time import: repro.parallel's package init pulls the
+        # scaling study, which itself imports this module.
+        from repro.parallel.costmodel import LevelSynchronousCostModel
+
+        model = LevelSynchronousCostModel()
+        if not model.lane_batch_advisable(
+            state.bound, config.bfs_batch_lanes, merged=True
+        ):
+            state.kernel.batch_lanes = 0
+            stats.lane_fallbacks += 1
+
     # ------------------------------------------------------------------
     # Bulk pruning (Algorithm 1 lines 4-5).
     # ------------------------------------------------------------------
@@ -157,6 +189,12 @@ def fdiam_with_state(
     if config.use_chain:
         with stats.timing("chain"):
             process_chains(state)
+        # Chain-tip batching (config.chain_tip_batch) may have raised the
+        # bound past the 2-sweep value; resume the incremental winnow so
+        # the wider ball prunes before the main loop starts.
+        if config.use_winnow and state.bound > sweep.bound:
+            with stats.timing("winnow"):
+                winnow(state, start, state.bound)
 
     # ------------------------------------------------------------------
     # Main loop (Algorithm 1 lines 6-21).

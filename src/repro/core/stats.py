@@ -29,7 +29,7 @@ import numpy as np
 from repro.bfs.instrumentation import BFSTrace
 from repro.bfs.kernel import WorkspaceStats
 
-__all__ = ["Reason", "StageTimes", "FDiamStats"]
+__all__ = ["Reason", "StageTimes", "PrepStats", "FDiamStats"]
 
 
 class Reason(IntEnum):
@@ -41,6 +41,7 @@ class Reason(IntEnum):
     CHAIN = 3
     DEGREE_ZERO = 4
     COMPUTED = 5  # eccentricity explicitly evaluated by a BFS
+    PREP = 6  # peeled / collapsed / component-skipped before any BFS
 
 
 @dataclass
@@ -69,6 +70,61 @@ class StageTimes:
 
 
 @dataclass
+class PrepStats:
+    """Deterministic effectiveness counters of the prep pipeline.
+
+    Everything here is a structural count — vertices/edges removed,
+    spine vertices synthesized, components planned, the edge-span
+    locality proxy — so benchmark regression comparisons of the prep
+    stages stay wall-clock-independent. Attached to
+    :attr:`FDiamStats.prep` by :func:`repro.prep.pipeline.fdiam_prepped`.
+    """
+
+    #: Canonical stage tokens the run was configured with.
+    stages: tuple[str, ...] = ()
+
+    # Pendant-tree peeling.
+    peel_vertices_removed: int = 0
+    peel_edges_removed: int = 0
+    peel_spine_vertices: int = 0
+    peel_anchors: int = 0
+    peel_tree_components: int = 0
+    peel_correction: int = 0
+
+    # Mirror-vertex collapsing.
+    mirror_vertices_removed: int = 0
+    mirror_edges_removed: int = 0
+    mirror_open_groups: int = 0
+    mirror_closed_groups: int = 0
+    mirror_max_multiplicity: int = 0
+    mirror_correction: int = 0
+
+    # Per-component planning.
+    components_total: int = 0
+    components_solved: int = 0
+    components_skipped: int = 0  # too small to beat the running bound
+    lane_components: int = 0
+    scalar_components: int = 0
+    tip_batch_components: int = 0  # chain tips resolved via lane sweeps
+    reorder_strategies: dict[str, int] = field(default_factory=dict)
+
+    #: Reorder bandwidth proxy: sum of |u - v| over undirected edges of
+    #: the solved components, before and after permutation.
+    edge_span_before: int = 0
+    edge_span_after: int = 0
+
+    @property
+    def vertices_removed(self) -> int:
+        """Original vertices the reductions deleted (peel + mirror)."""
+        return self.peel_vertices_removed + self.mirror_vertices_removed
+
+    @property
+    def edges_removed(self) -> int:
+        """Net edge reduction over both reduction stages."""
+        return self.peel_edges_removed + self.mirror_edges_removed
+
+
+@dataclass
 class FDiamStats:
     """Everything measured during one F-Diam run."""
 
@@ -79,6 +135,10 @@ class FDiamStats:
     eccentricity_bfs: int = 0
     winnow_calls: int = 0
     eliminate_calls: int = 0
+
+    #: Times the kernel dropped a requested lane batch back to the
+    #: scalar path because the cost model advised against it.
+    lane_fallbacks: int = 0
 
     # Bound evolution.
     initial_bound: int = 0
@@ -96,17 +156,30 @@ class FDiamStats:
     #: scratch bytes, buffer-reuse hit rate); attached by FDiamState.
     workspace: WorkspaceStats | None = None
 
+    #: Reduction-pipeline counters; ``None`` unless the run went through
+    #: :func:`repro.prep.pipeline.fdiam_prepped`.
+    prep: PrepStats | None = None
+
     @property
     def bfs_traversals(self) -> int:
         """Paper Table 3's count: eccentricity BFS + Winnow calls."""
         return self.eccentricity_bfs + self.winnow_calls
+
+    @property
+    def edges_examined(self) -> int:
+        """Total arcs the traversal kernel gathered across the run."""
+        return self.workspace.edges_examined if self.workspace else 0
 
     def removal_fractions(self) -> dict[str, float]:
         """Fraction of vertices removed by each stage (paper Table 4).
 
         The ``computed`` entry covers vertices whose eccentricity was
         explicitly evaluated (the paper folds these sub-percent values
-        into rounding).
+        into rounding). The ``prep`` entry counts vertices the reduction
+        pipeline deleted (or skipped with whole components) before any
+        BFS; for prepped runs the fractions cover synthetic spine
+        vertices too, so they are reported against the original ``n``
+        and may sum slightly above 1.
         """
         n = max(self.num_vertices, 1)
         return {
@@ -115,7 +188,46 @@ class FDiamStats:
             "chain": self.removed_by[Reason.CHAIN] / n,
             "degree0": self.removed_by[Reason.DEGREE_ZERO] / n,
             "computed": self.removed_by[Reason.COMPUTED] / n,
+            "prep": self.removed_by[Reason.PREP] / n,
         }
+
+    def merge_from(self, other: FDiamStats) -> None:
+        """Fold a per-component sub-run's counters into this aggregate.
+
+        Used by the prep pipeline to combine the per-component F-Diam
+        runs into one run-level view: traversal counters, removal
+        attribution, stage times, and traces add up; workspace
+        accounting sums its counters and keeps the larger peak.
+        """
+        self.eccentricity_bfs += other.eccentricity_bfs
+        self.winnow_calls += other.winnow_calls
+        self.eliminate_calls += other.eliminate_calls
+        self.lane_fallbacks += other.lane_fallbacks
+        self.bound_updates += other.bound_updates
+        self.removed_by += other.removed_by
+        for stage in StageTimes._STAGES:
+            setattr(
+                self.times,
+                stage,
+                getattr(self.times, stage) + getattr(other.times, stage),
+            )
+        self.traces.extend(other.traces)
+        if other.workspace is not None:
+            if self.workspace is None:
+                self.workspace = WorkspaceStats()
+            mine, theirs = self.workspace, other.workspace
+            mine.buffer_requests += theirs.buffer_requests
+            mine.buffer_reuses += theirs.buffer_reuses
+            mine.lane_requests += theirs.lane_requests
+            mine.lane_reuses += theirs.lane_reuses
+            mine.lane_words_allocated += theirs.lane_words_allocated
+            mine.allocated_bytes += theirs.allocated_bytes
+            mine.peak_scratch_bytes = max(
+                mine.peak_scratch_bytes, theirs.peak_scratch_bytes
+            )
+            mine.epochs += theirs.epochs
+            mine.edges_examined += theirs.edges_examined
+            mine.owned_bytes = max(mine.owned_bytes, theirs.owned_bytes)
 
     @contextmanager
     def timing(self, stage: str):

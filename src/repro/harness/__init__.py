@@ -16,6 +16,7 @@ from repro.harness.experiments import (
     table3_bfs_counts,
     table4_stage_effectiveness,
     table5_ablation_bfs,
+    table_prep_reduction,
 )
 from repro.harness.figures import line_series, log_bar_chart, stacked_percent_bars
 from repro.harness.runner import (
@@ -75,4 +76,5 @@ __all__ = [
     "table3_bfs_counts",
     "table4_stage_effectiveness",
     "table5_ablation_bfs",
+    "table_prep_reduction",
 ]

@@ -40,7 +40,7 @@ gathers) and less on long thin road networks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil, log2
+from math import ceil, log, log2, sqrt
 
 from repro.bfs.instrumentation import BFSTrace
 from repro.errors import AlgorithmError
@@ -84,11 +84,34 @@ class CostModelParams:
     #: are sequential streaming loads (cheaper than the irregular edge
     #: gathers), so the default sits above ``edge_rate``.
     lane_word_rate: float = 100e6
+    #: Degree skew (max degree over average degree) above which a graph
+    #: counts as hub-heavy for :meth:`.estimate_diameter` — small-world
+    #: ``~log n`` scaling instead of mesh/road ``~sqrt n`` scaling.
+    hub_skew: float = 4.0
+    #: Largest estimated diameter at which a *dedicated* lane sweep
+    #: (spectrum bounding rounds, 64 sources per word) still beats
+    #: scalar BFS. Beyond it the per-level word traffic over hundreds of
+    #: near-empty levels eats the shared-gather saving.
+    lane_level_cap: int = 64
+    #: Same cap for *merged* waves (Winnow resume / Eliminate extension
+    #: inside ``fdiam``), which pay the word traffic but cannot amortize
+    #: a full eccentricity per lane. Calibrated on the pinned analogs:
+    #: the road-map bound (~121) and even the tendril-stretched
+    #: power-law bound (~28) fall back, while low-diameter cores keep
+    #: their lanes.
+    merged_level_cap: int = 16
+    #: Minimum fill of the trailing lane word for a sweep to pay off;
+    #: 0.125 = at least 8 of 64 lanes in use.
+    lane_min_occupancy: float = 0.125
 
     def __post_init__(self) -> None:
         if self.edge_rate <= 0 or self.chunk_size < 1 or self.bandwidth_threads < 1:
             raise AlgorithmError("invalid cost model parameters")
         if self.lane_word_rate <= 0:
+            raise AlgorithmError("invalid cost model parameters")
+        if self.hub_skew < 1 or self.lane_level_cap < 1 or self.merged_level_cap < 1:
+            raise AlgorithmError("invalid cost model parameters")
+        if not 0 < self.lane_min_occupancy <= 1:
             raise AlgorithmError("invalid cost model parameters")
 
 
@@ -129,6 +152,53 @@ class LevelSynchronousCostModel:
         if tn <= 0:
             raise AlgorithmError("degenerate trace set (zero modeled time)")
         return t1 / tn
+
+    # ------------------------------------------------------------------
+    # Structural advisability (no trace required)
+    # ------------------------------------------------------------------
+    def estimate_diameter(
+        self, num_vertices: int, num_directed_edges: int, max_degree: int
+    ) -> int:
+        """Structural diameter estimate — no BFS, just size and skew.
+
+        Hub-heavy graphs (``max_degree >= hub_skew * average_degree``)
+        get small-world scaling ``~2 log n / log(avg_degree)``; low-skew
+        graphs (grids, triangulations, road maps) get the mesh scaling
+        ``~1.5 sqrt(n)``. Deliberately coarse: its one job is to put a
+        graph on the right side of the lane-level caps before any
+        traversal has run, and the two regimes differ by orders of
+        magnitude there.
+        """
+        if num_vertices <= 1:
+            return 0
+        average = num_directed_edges / num_vertices
+        if average > 1.0 and max_degree >= self.params.hub_skew * average:
+            estimate = 2.0 * log(num_vertices) / log(average)
+        else:
+            estimate = 1.5 * sqrt(num_vertices)
+        return max(1, ceil(estimate))
+
+    def lane_batch_advisable(
+        self, diameter_estimate: int, lanes: int, *, merged: bool = False
+    ) -> bool:
+        """Whether a ``lanes``-source sweep should beat the scalar path.
+
+        Two gates, matching the two ways lane sweeps lose in practice:
+        the expected level count (``diameter_estimate`` against
+        :attr:`~CostModelParams.lane_level_cap` /
+        :attr:`~CostModelParams.merged_level_cap` for ``merged`` waves),
+        and the fill of the trailing lane word (fewer than
+        ``lane_min_occupancy * 64`` sources per word cannot amortize
+        the per-level sweep overhead).
+        """
+        if lanes <= 1:
+            return False
+        words = ceil(lanes / LANE_WIDTH)
+        occupancy = lanes / (words * LANE_WIDTH)
+        if occupancy < self.params.lane_min_occupancy:
+            return False
+        cap = self.params.merged_level_cap if merged else self.params.lane_level_cap
+        return diameter_estimate <= cap
 
     # ------------------------------------------------------------------
     # Bit-parallel lane accounting

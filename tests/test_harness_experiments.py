@@ -19,6 +19,7 @@ from repro.harness import (
     table3_bfs_counts,
     table4_stage_effectiveness,
     table5_ablation_bfs,
+    table_prep_reduction,
 )
 
 TINY = SuiteConfig(inputs=("internet", "USA-road-d.NY"), repeats=1, timeout_s=60)
@@ -71,6 +72,17 @@ class TestTableDrivers:
         report = table4_stage_effectiveness(TINY)
         for fractions in report.data.values():
             assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_table_prep_reduction(self):
+        report = table_prep_reduction(TINY)
+        assert "Prep pipeline" in report.text
+        assert set(report.data) == {"internet", "USA-road-d.NY"}
+        for name, row in report.data.items():
+            # The acceptance criterion, in miniature: strictly less
+            # traversal work on both pinned graphs, same diameter.
+            assert row["bfs_prep"] < row["bfs_plain"], name
+            assert row["edges_prep"] < row["edges_plain"], name
+            assert row["vertices_removed"] > 0, name
 
     def test_table5(self):
         report = table5_ablation_bfs(TINY)

@@ -1,0 +1,103 @@
+"""Vertex reordering: permutation round-trips and locality.
+
+Reordering is a pure relabelling — diameters, eccentricity multisets,
+and component structure are permutation-invariant — so every strategy
+must round-trip exactly; the only thing allowed to change is the
+edge-span locality proxy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fdiam import fdiam
+from repro.generators import caterpillar, cycle_graph, path_graph
+from repro.generators.grid import grid_2d
+from repro.generators.rmat import rmat
+from repro.prep import (
+    ORDER_STRATEGIES,
+    apply_order,
+    bfs_order,
+    degree_order,
+    edge_span,
+    rcm_order,
+)
+
+from conftest import random_gnp
+
+STRATEGY_FNS = {"degree": degree_order, "bfs": bfs_order, "rcm": rcm_order}
+
+
+def graphs_under_test():
+    yield path_graph(17)
+    yield cycle_graph(10)
+    yield caterpillar(8, 2)
+    yield grid_2d(6, 7)
+    yield rmat(7, edge_factor=4, seed=2)
+    yield random_gnp(60, 0.08, seed=4)[0]
+
+
+class TestPermutationRoundTrip:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_FNS))
+    def test_order_is_a_permutation(self, strategy):
+        for graph in graphs_under_test():
+            order = STRATEGY_FNS[strategy](graph)
+            assert sorted(order.tolist()) == list(range(graph.num_vertices))
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_FNS))
+    def test_maps_are_mutual_inverses(self, strategy):
+        for graph in graphs_under_test():
+            re = apply_order(graph, STRATEGY_FNS[strategy](graph))
+            n = graph.num_vertices
+            assert np.array_equal(re.to_original[re.from_original], np.arange(n))
+            assert np.array_equal(re.from_original[re.to_original], np.arange(n))
+            assert np.array_equal(re.map_back(re.from_original), np.arange(n))
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_FNS))
+    def test_edges_are_preserved(self, strategy):
+        for graph in graphs_under_test():
+            re = apply_order(graph, STRATEGY_FNS[strategy](graph))
+            original = {tuple(sorted(e)) for e in graph.iter_edges()}
+            mapped = {
+                tuple(sorted((int(re.to_original[u]), int(re.to_original[v]))))
+                for u, v in re.graph.iter_edges()
+            }
+            assert mapped == original
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_FNS))
+    def test_diameter_invariant(self, strategy):
+        for graph in graphs_under_test():
+            re = apply_order(graph, STRATEGY_FNS[strategy](graph))
+            assert fdiam(re.graph).diameter == fdiam(graph).diameter
+
+    def test_double_application_round_trips(self):
+        # Applying a permutation and then its inverse restores the
+        # original adjacency exactly.
+        graph = grid_2d(5, 8)
+        re = apply_order(graph, degree_order(graph))
+        back = apply_order(re.graph, re.from_original.copy())
+        assert np.array_equal(back.graph.indptr, graph.indptr)
+        # Neighbor lists are sorted inside CSR rows, so exact equality.
+        assert np.array_equal(back.graph.indices, graph.indices)
+
+
+class TestLocality:
+    def test_strategy_registry_matches(self):
+        assert set(ORDER_STRATEGIES) == set(STRATEGY_FNS)
+
+    def test_bfs_order_improves_shuffled_grid_span(self):
+        graph = grid_2d(12, 12)
+        rng = np.random.default_rng(99)
+        shuffled = apply_order(
+            graph, rng.permutation(graph.num_vertices).astype(np.int64)
+        ).graph
+        reordered = apply_order(shuffled, bfs_order(shuffled)).graph
+        assert edge_span(reordered) < edge_span(shuffled)
+
+    def test_degree_order_puts_hubs_first(self):
+        graph = rmat(8, edge_factor=6, seed=1)
+        re = apply_order(graph, degree_order(graph))
+        degrees = re.graph.degrees
+        assert degrees[0] == degrees.max()
+        assert np.all(degrees[:-1] >= degrees[1:])
