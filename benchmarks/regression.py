@@ -30,6 +30,7 @@ import datetime as _dt
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,11 +40,13 @@ import numpy as np  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.baselines.sumsweep import sumsweep_diameter  # noqa: E402
+from repro.cache import WarmStartStore, fdiam_cached  # noqa: E402
 from repro.core.config import FDiamConfig  # noqa: E402
 from repro.core.extremes import eccentricity_spectrum  # noqa: E402
 from repro.core.fdiam import fdiam  # noqa: E402
 from repro.bfs.kernel import TraversalKernel  # noqa: E402
 from repro.harness.workloads import get_workload  # noqa: E402
+from repro.query import QueryEngine  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -148,6 +151,68 @@ def _stage_spectrum(graph, repeats, lanes):
     }
 
 
+def _stage_fdiam_warm(graph, repeats):
+    """Cold run writes the sidecar, then the *warm* run is what's timed.
+
+    The cold traversal counters ride along so the snapshot itself
+    documents the warm-start payoff (``bfs_ratio_vs_cold``).
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        store = WarmStartStore(Path(tmp))
+        cold, _ = fdiam_cached(graph, FDiamConfig(prep="auto"), store=store)
+        wall, (res, info) = _timed(
+            lambda: fdiam_cached(graph, FDiamConfig(prep="auto"), store=store),
+            repeats,
+        )
+    return {
+        "wall_s": wall,
+        "bfs_count": res.stats.bfs_traversals,
+        "edges_examined": res.stats.edges_examined,
+        "diameter": res.diameter,
+        "verified": bool(info.verified),
+        "cold_bfs_count": cold.stats.bfs_traversals,
+        "cold_diameter": cold.diameter,
+        "bfs_ratio_vs_cold": round(
+            cold.stats.bfs_traversals / max(res.stats.bfs_traversals, 1), 2
+        ),
+    }
+
+
+def _stage_query_batch(graph, repeats):
+    """256 mixed dist/ecc/diam queries from a 48-source pool.
+
+    The untimed warmup pays the one cold ``diam`` resolution into the
+    temporary store; the timed runs then measure the steady state the
+    engine exists for — sidecar-preloaded diameter, all fresh sources
+    packed into 64-lane sweep chunks.
+    """
+    rng = np.random.default_rng(42)
+    pool = rng.integers(0, graph.num_vertices, size=48)
+    queries = ["diam"]
+    for _ in range(255):
+        u, v = (int(x) for x in rng.choice(pool, size=2))
+        queries.append(f"dist {u} {v}" if rng.random() < 0.6 else f"ecc {u}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = WarmStartStore(Path(tmp))
+
+        def run():
+            engine = QueryEngine(store=store, batch_lanes=256)
+            return engine.run(engine.add_graph(graph), queries)
+
+        wall, (_, stats) = _timed(run, repeats)
+    return {
+        "wall_s": wall,
+        "queries": stats.queries,
+        "scalar_traversals": stats.scalar_traversals,
+        "sweeps": stats.sweeps,
+        "bfs_sources": stats.bfs_sources,
+        "edges_examined": stats.edges_examined,
+        "gather_pass_ratio": round(stats.gather_pass_ratio, 2),
+        "lane_occupancy": round(stats.lane_occupancy, 4),
+    }
+
+
 def _stage_sumsweep(graph, repeats, lanes):
     wall, res = _timed(
         lambda: sumsweep_diameter(graph, batch_lanes=lanes), repeats
@@ -165,6 +230,8 @@ STAGES = {
     "fdiam": (_stage_fdiam, True),
     "fdiam_lanes64": (_stage_fdiam_lanes64, True),
     "fdiam_prep": (_stage_fdiam_prep, True),
+    "fdiam_warm": (_stage_fdiam_warm, True),
+    "query_batch": (_stage_query_batch, True),
     "spectrum_scalar": (lambda g, r: _stage_spectrum(g, r, 0), False),
     "spectrum_lanes64": (lambda g, r: _stage_spectrum(g, r, 64), True),
     "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
@@ -271,6 +338,40 @@ def compare(baseline: dict, current: dict, *, strict_time: bool = False):
     return regressions, warnings
 
 
+def warm_check(graphs=SMOKE_GRAPHS) -> int:
+    """CI gate for the warm-start cache (``--warm-check``).
+
+    Runs ``fdiam`` cold-then-warm through a throwaway store on each
+    graph and fails unless the warm run verifies, returns the identical
+    diameter, and spends at least 40% fewer traversals (the ISSUE's
+    acceptance bar; the verified path lands at exactly one).
+    """
+    failures = 0
+    for name in graphs:
+        graph = get_workload(name).graph
+        with tempfile.TemporaryDirectory() as tmp:
+            store = WarmStartStore(Path(tmp))
+            cold, _ = fdiam_cached(graph, FDiamConfig(prep="auto"), store=store)
+            warm, info = fdiam_cached(graph, FDiamConfig(prep="auto"), store=store)
+        line = (
+            f"{name}: cold {cold.stats.bfs_traversals} BFS -> "
+            f"warm {warm.stats.bfs_traversals} BFS, "
+            f"diameter {cold.diameter} -> {warm.diameter}, "
+            f"verified={info.verified}"
+        )
+        ok = (
+            info.verified
+            and warm.diameter == cold.diameter
+            and warm.stats.bfs_traversals <= 0.6 * cold.stats.bfs_traversals
+        )
+        if ok:
+            print(f"warm-check OK: {line}")
+        else:
+            print(f"WARM-CHECK FAIL: {line}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -301,7 +402,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat wall-time increases as failures, not warnings",
     )
+    parser.add_argument(
+        "--warm-check",
+        action="store_true",
+        help="cold-then-warm fdiam assertion only (no snapshot written)",
+    )
     args = parser.parse_args(argv)
+
+    if args.warm_check:
+        return warm_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
 
     date = args.date or _dt.date.today().isoformat()
     print(f"benchmark regression suite ({'smoke' if args.smoke else 'full'}) ...")

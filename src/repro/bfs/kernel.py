@@ -49,7 +49,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.bfs.bitparallel import LaneSweep, lane_sweep
+from repro.bfs.bitparallel import LaneSweep, lane_distances, lane_sweep
 from repro.bfs.bottomup import bottomup_step
 from repro.bfs.instrumentation import BFSTrace, Direction
 from repro.bfs.topdown import topdown_step
@@ -788,6 +788,47 @@ class TraversalKernel:
             record_counts=record_counts,
             record_reach=record_reach,
         )
+
+    def distance_batch(
+        self,
+        sources: Sequence[int] | np.ndarray,
+        *,
+        max_lanes: int = 256,
+    ) -> tuple[np.ndarray, list[LaneSweep]]:
+        """Full distance rows for many sources via chunked lane sweeps.
+
+        The bulk primitive behind the batched query engine
+        (:mod:`repro.query`): ``sources`` are packed 64 per machine
+        word and swept in chunks of at most ``max_lanes``, so ``k``
+        distance rows cost ``ceil(k / max_lanes)`` physical gather
+        passes instead of ``k`` scalar traversals. Returns the stacked
+        ``(k, n)`` ``int32`` distance matrix (``-1`` unreached, row
+        ``i`` for ``sources[i]``) plus the per-chunk
+        :class:`~repro.bfs.bitparallel.LaneSweep` records, whose
+        ``eccentricities`` / ``edges_examined`` fields carry the
+        accounting the caller reports.
+        """
+        if max_lanes <= 0:
+            raise AlgorithmError(
+                f"max_lanes must be positive, got {max_lanes}"
+            )
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        n = self.graph.num_vertices
+        if len(sources) == 0:
+            return np.empty((0, n), dtype=np.int32), []
+        rows: list[np.ndarray] = []
+        sweeps: list[LaneSweep] = []
+        for lo in range(0, len(sources), max_lanes):
+            dist, sweep = lane_distances(
+                self.graph,
+                sources[lo : lo + max_lanes],
+                pool=self.workspace,
+                check=self.check_deadline,
+            )
+            rows.append(dist)
+            sweeps.append(sweep)
+        stacked = rows[0] if len(rows) == 1 else np.concatenate(rows)
+        return stacked, sweeps
 
     # ------------------------------------------------------------------
     # Staggered multi-source wave (Chain Processing)

@@ -1,0 +1,34 @@
+"""Cross-run warm-start cache (content-addressed traversal artifacts).
+
+Every F-Diam or spectrum run derives facts about one specific graph —
+the diameter and its witness, per-vertex eccentricity bounds, the
+winnow ball, landmark distance vectors. All of them remain true for as
+long as the graph's bytes do, yet the cold pipeline rederives them on
+every invocation. This package persists them in an ``.npz`` sidecar
+keyed by the graph's content digest (:func:`repro.graph.graph_digest`)
+and replays them on the next run:
+
+* :class:`WarmStartStore` — the on-disk store: one sidecar per digest,
+  corrupted or truncated files degrade to a cold run with a warning.
+* :class:`WarmArtifacts` — the artifact schema (DESIGN.md §10).
+* :func:`fdiam_cached` / :func:`spectrum_cached` — load → warm run →
+  save orchestration around the core entry points.
+
+The trust model is deliberately asymmetric: cached *upper* bounds are
+certificates for the byte-identical graph, but the headline result is
+never taken on faith — a warm ``fdiam`` run re-establishes the lower
+bound with one fresh BFS from the cached witness and only then lets
+the certificates discharge the remaining vertices.
+"""
+
+from repro.cache.store import SCHEMA_VERSION, WarmArtifacts, WarmStartStore
+from repro.cache.runner import CacheInfo, fdiam_cached, spectrum_cached
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WarmArtifacts",
+    "WarmStartStore",
+    "CacheInfo",
+    "fdiam_cached",
+    "spectrum_cached",
+]

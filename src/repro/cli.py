@@ -3,8 +3,10 @@
 A downstream-friendly front door mirroring how the paper's released
 binary is used — point it at a graph file, get the exact diameter plus
 the run statistics. Supports every format in :mod:`repro.graph.io`,
-the serial/parallel engines, the ablation switches, and the extended
-radius/center/periphery analysis.
+the serial/parallel engines, the ablation switches, the extended
+radius/center/periphery analysis, the cross-run warm-start cache
+(``--cache DIR``), and the batched multi-query engine
+(``python -m repro query <graph-file> 'dist 0 5' 'ecc 3' diam``).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from repro.core import FDiamConfig, eccentricity_spectrum, fdiam
 from repro.errors import ReproError
 from repro.graph import degree_summary, read_graph
 
-__all__ = ["main", "build_parser", "format_bytes"]
+__all__ = ["main", "build_parser", "build_query_parser", "format_bytes"]
 
 
 def format_bytes(num_bytes: int) -> str:
@@ -101,19 +103,134 @@ def build_parser() -> argparse.ArgumentParser:
         "buffer-reuse hit rate)",
     )
     parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="warm-start store directory: reuse a previous run's cached "
+        "certificates on the byte-identical graph (one verifying BFS "
+        "instead of the full pipeline) and write a sidecar after cold runs",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map .npz graph files (uncompressed archives only) "
+        "instead of reading the arrays into memory",
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     return parser
 
 
+def build_query_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro query`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description=(
+            "batched graph queries: distances, eccentricities, and the "
+            "diameter, packed into shared bit-parallel sweeps"
+        ),
+    )
+    parser.add_argument(
+        "graph",
+        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, .npz)",
+    )
+    parser.add_argument(
+        "queries",
+        nargs="*",
+        help="queries: 'dist U V', 'ecc V', 'diam' (one per argument; "
+        "read from stdin, one per line, when omitted)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="warm-start store directory: preload memoized distance rows "
+        "from the graph's sidecar, answer 'diam' warm, and persist the "
+        "hottest rows back on exit",
+    )
+    parser.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=256,
+        metavar="K",
+        help="maximum sources per physical sweep chunk (default 256)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map .npz graph files (uncompressed archives only)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print batch accounting"
+    )
+    return parser
+
+
+def query_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``query`` subcommand; returns the exit code."""
+    args = build_query_parser().parse_args(argv)
+    # Call-time import: the query/cache layers sit above the CLI's other
+    # dependencies and are only paid for when the subcommand runs.
+    from repro.query import QueryEngine
+
+    try:
+        graph = read_graph(args.graph, mmap=args.mmap)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    queries = list(args.queries)
+    if not queries:
+        queries = [line.strip() for line in sys.stdin if line.strip()]
+    if not queries:
+        print("error: no queries given (arguments or stdin)", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.cache is not None:
+        from repro.cache import WarmStartStore
+
+        store = WarmStartStore(args.cache)
+    try:
+        engine = QueryEngine(store=store, batch_lanes=args.batch_lanes)
+        key = engine.add_graph(graph)
+        start = time.perf_counter()
+        answers, stats = engine.run(key, queries)
+        elapsed = time.perf_counter() - start
+        engine.flush()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for query, answer in zip(queries, answers):
+        text = query if isinstance(query, str) else " ".join(map(str, query))
+        print(f"{text} = {answer}")
+    if args.stats:
+        print(f"\nqueries        : {stats.queries}")
+        print(f"scalar BFS     : {stats.scalar_traversals} (one-per-query "
+              "baseline)")
+        print(f"gather passes  : {stats.sweeps} "
+              f"({stats.bfs_sources} fresh sources, "
+              f"{stats.memo_hits} memo hits)")
+        if stats.sweeps:
+            print(f"pass ratio     : {stats.gather_pass_ratio:.1f}x fewer "
+                  "gather passes")
+        print(f"edges examined : {stats.edges_examined:,}")
+        print(f"time           : {elapsed:.3f}s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "query":
+        return query_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.bfs_batch_lanes < 0:
         print("error: --bfs-batch-lanes must be >= 0", file=sys.stderr)
         return 2
     try:
-        graph = read_graph(args.graph)
+        graph = read_graph(args.graph, mmap=args.mmap)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -133,14 +250,35 @@ def main(argv: list[str] | None = None) -> int:
         bfs_batch_lanes=args.bfs_batch_lanes,
         prep=args.prep,
     )
+    store = None
+    cache_info = None
+    if args.cache is not None:
+        from repro.cache import WarmStartStore
+
+        store = WarmStartStore(args.cache)
     start = time.perf_counter()
     try:
-        result = fdiam(graph, config)
+        if store is not None:
+            from repro.cache import fdiam_cached
+
+            result, cache_info = fdiam_cached(graph, config, store=store)
+        else:
+            result = fdiam(graph, config)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - start
 
+    if cache_info is not None:
+        if cache_info.hit and cache_info.verified:
+            state = "warm hit (verified)"
+        elif cache_info.hit:
+            state = "hit distrusted, ran cold"
+        else:
+            state = "miss, ran cold"
+        written = ", sidecar written" if cache_info.saved else ""
+        print(f"cache    : {state}{written} "
+              f"[{cache_info.digest[:12]}]")
     if result.infinite:
         print(f"diameter : infinite (graph is disconnected); "
               f"largest component eccentricity = {result.diameter}")
@@ -156,9 +294,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"edges examined : {stats.edges_examined:,}")
         print(f"initial bound  : {stats.initial_bound} "
               f"({stats.bound_updates} upgrades)")
+        if stats.warm_start:
+            verdict = "verified" if stats.warm_verified else "distrusted"
+            print(f"warm start     : witness BFS {verdict}")
         if stats.prep is not None:
             prep = stats.prep
             print(f"prep stages    : {', '.join(prep.stages) or 'none'}")
+            if prep.stages_gated:
+                print(f"  gated        : {', '.join(prep.stages_gated)} "
+                      "(cost model: payoff below stage cost)")
             print(f"  peel         : -{prep.peel_vertices_removed} vertices "
                   f"(-{prep.peel_edges_removed} edges, "
                   f"{prep.peel_anchors} anchors, "
@@ -205,9 +349,19 @@ def main(argv: list[str] | None = None) -> int:
                       f"({format_bytes(8 * ws.lane_words_allocated)})")
 
     if args.spectrum:
-        spec = eccentricity_spectrum(
-            graph, engine=args.engine, batch_lanes=args.bfs_batch_lanes
-        )
+        if store is not None:
+            from repro.cache import spectrum_cached
+
+            spec, _ = spectrum_cached(
+                graph,
+                store=store,
+                engine=args.engine,
+                batch_lanes=args.bfs_batch_lanes,
+            )
+        else:
+            spec = eccentricity_spectrum(
+                graph, engine=args.engine, batch_lanes=args.bfs_batch_lanes
+            )
         print(f"\nradius    : {spec.radius} (largest component)")
         print(f"center    : {len(spec.center)} vertices "
               f"(e.g. {spec.center[:5].tolist()})")

@@ -25,6 +25,7 @@ is exercised in the benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,7 @@ import numpy as np
 from repro.bfs.bitparallel import lane_distances
 from repro.bfs.eccentricity import Engine
 from repro.bfs.kernel import TraversalKernel
+from repro.core.state import MAX_BOUND
 from repro.errors import AlgorithmError
 from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
@@ -106,12 +108,102 @@ def _pick_batch(
     return picks[:lanes]
 
 
+def _seed_from_warm(
+    graph: CSRGraph,
+    kernel: TraversalKernel,
+    warm,
+    ecc_lb: np.ndarray,
+    ecc_ub: np.ndarray,
+    count_edges: bool,
+) -> tuple[bool, int, int]:
+    """Fold warm-start artifacts into the bounds; ``(used, bfs, edges)``.
+
+    Trust model (DESIGN.md §10): the artifacts already passed the cache
+    layer's content-digest check, and before anything is folded in, one
+    *fresh* BFS from the first cached landmark must reproduce its cached
+    distance row bit-for-bit — a cheap end-to-end proof that the sidecar
+    was computed on this exact graph. Only then are the cached per-vertex
+    eccentricity bounds adopted; any open vertex the seeding leaves
+    behind is still resolved by an exact traversal, so a *consistent*
+    cache only ever removes work.
+    """
+    n = graph.num_vertices
+    status = getattr(warm, "status", None)
+    if status is None or len(status) != n:
+        warnings.warn(
+            "warm-start artifacts do not match the graph shape; "
+            "ignoring them",
+            stacklevel=3,
+        )
+        return False, 0, 0
+    sources = np.asarray(
+        getattr(warm, "landmark_sources", np.empty(0, np.int64)),
+        dtype=np.int64,
+    )
+    dists = np.asarray(
+        getattr(warm, "landmark_dists", np.empty((0, 0), np.int32))
+    )
+    if (
+        len(sources) == 0
+        or dists.shape != (len(sources), n)
+        or not 0 <= int(sources[0]) < n
+    ):
+        # No landmark rows to verify against: refuse to trust the
+        # sidecar's bounds rather than adopt them unverified.
+        return False, 0, 0
+    res = kernel.bfs(int(sources[0]), record_dist=True, record_trace=count_edges)
+    spent_edges = res.trace.total_edges_examined if res.trace else 0
+    fresh = res.dist
+    verified = np.array_equal(
+        np.asarray(fresh, dtype=np.int64), dists[0].astype(np.int64)
+    )
+    if not verified:
+        kernel.workspace.release_dist(fresh)
+        warnings.warn(
+            "warm-start landmark distances do not reproduce on this "
+            "graph; ignoring the cached artifacts",
+            stacklevel=3,
+        )
+        return False, 1, spent_edges
+    # Every landmark row is a genuine distance array of this graph, so
+    # folding it through the triangle inequalities needs no further
+    # trust; the row's max is its source's exact eccentricity.
+    for j in range(len(sources)):
+        row = dists[j].astype(np.int64)
+        _refine_bounds(ecc_lb, ecc_ub, int(sources[j]), int(row.max()), row)
+    kernel.workspace.release_dist(fresh)
+    # Per-vertex upper-bound certificates from the cached run: the
+    # spectrum's exact bounds when a spectrum wrote the sidecar, else
+    # min(status, D) from the diameter run's final status array.
+    diameter = int(getattr(warm, "diameter", 0))
+    lower = np.asarray(
+        getattr(warm, "ecc_lower", np.empty(0, np.int64)), dtype=np.int64
+    )
+    upper = np.asarray(
+        getattr(warm, "ecc_upper", np.empty(0, np.int64)), dtype=np.int64
+    )
+    if len(upper) == n:
+        np.minimum(ecc_ub, upper, out=ecc_ub)
+        if len(lower) == n:
+            np.maximum(ecc_lb, lower, out=ecc_lb)
+    else:
+        status = np.asarray(status, dtype=np.int64)
+        numeric = (status >= 0) & (status < MAX_BOUND)
+        np.minimum(
+            ecc_ub,
+            np.where(numeric, np.minimum(status, diameter), diameter),
+            out=ecc_ub,
+        )
+    return True, 1, spent_edges
+
+
 def eccentricity_spectrum(
     graph: CSRGraph,
     *,
     engine: Engine = "parallel",
     batch_lanes: int = 0,
     auto_fallback: bool = True,
+    warm=None,
 ) -> EccentricitySpectrum:
     """Compute every vertex's exact eccentricity with bound pruning.
 
@@ -138,6 +230,14 @@ def eccentricity_spectrum(
     road meshes), so the request silently drops to the scalar path and
     ``lane_fallback`` is set on the result. Pass ``False`` to force the
     lanes for A/B measurements.
+
+    ``warm`` seeds the bounds from cached artifacts of a previous run on
+    the byte-identical graph (:class:`repro.cache.WarmArtifacts`): after
+    one fresh BFS verifies the first cached landmark row, the remaining
+    landmark rows and per-vertex certificates are folded in, typically
+    closing most (for a spectrum-written sidecar: all) vertices before
+    the refinement loop starts. Unusable or unverifiable artifacts are
+    ignored with a warning.
     """
     n = graph.num_vertices
     if n == 0:
@@ -166,6 +266,18 @@ def eccentricity_spectrum(
     sweeps = 0
     edges = 0
     occupancy_sum = 0.0
+
+    if warm is not None:
+        _, warm_bfs, warm_edges = _seed_from_warm(
+            graph, kernel, warm, ecc_lb, ecc_ub, count_edges
+        )
+        traversals += warm_bfs
+        sweeps += warm_bfs
+        edges += warm_edges
+        occupancy_sum += float(warm_bfs)
+        # Inconsistent certificates can leave lb > ub on some vertices;
+        # those stay open (lb != ub) and are resolved by an exact BFS
+        # like any other open vertex, so nothing is clamped here.
 
     for comp in range(cc.num_components):
         vertices = cc.vertices_of(comp)

@@ -19,6 +19,7 @@ reported "CC diameter" (with an infinity flag) for disconnected ones.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,10 +28,10 @@ from repro.core.chain import process_chains
 from repro.core.config import FDiamConfig
 from repro.core.eliminate import eliminate
 from repro.core.extend import extend_eliminated
-from repro.core.state import FDiamState
+from repro.core.state import MAX_BOUND, WINNOWED, FDiamState
 from repro.core.stats import FDiamStats, Reason
-from repro.core.sweep import two_sweep
-from repro.core.winnow import winnow
+from repro.core.sweep import two_sweep, witness_sweep
+from repro.core.winnow import restore_winnow, winnow
 from repro.errors import AlgorithmError, BenchmarkTimeout
 from repro.graph.csr import CSRGraph
 
@@ -74,6 +75,7 @@ def fdiam(
     config: FDiamConfig | None = None,
     *,
     deadline: float | None = None,
+    warm=None,
 ) -> DiameterResult:
     """Compute the exact diameter of ``graph`` (see :func:`fdiam_with_state`).
 
@@ -84,8 +86,17 @@ def fdiam(
     per-component reordering and engine planning — and the per-component
     results are merged back into one :class:`DiameterResult` carrying
     the identical diameter (and infinity convention) as the plain path.
+
+    ``warm`` seeds the run from cached certificates (see
+    :func:`fdiam_with_state`); it supersedes ``prep``, whose one-time
+    savings the cached artifacts already subsume.
     """
     effective = config or FDiamConfig()
+    if warm is not None:
+        result, _ = fdiam_with_state(
+            graph, effective.ablate(prep="off"), deadline=deadline, warm=warm
+        )
+        return result
     if effective.prep not in ("", "off", "none"):
         # Local import: repro.prep sits above the core layer.
         from repro.prep.pipeline import fdiam_prepped
@@ -100,6 +111,7 @@ def fdiam_with_state(
     config: FDiamConfig | None = None,
     *,
     deadline: float | None = None,
+    warm=None,
 ) -> tuple[DiameterResult, FDiamState]:
     """Compute the exact diameter of ``graph`` with the F-Diam algorithm.
 
@@ -111,6 +123,22 @@ def fdiam_with_state(
     config:
         Tunables and ablation switches; defaults to the full algorithm
         with the vectorized engine.
+    warm:
+        Optional warm-start artifacts from a previous run on the *same*
+        graph (:class:`repro.cache.WarmArtifacts` or anything with the
+        same ``witness`` / ``diameter`` / ``status`` / winnow-ball
+        attributes). The caller is responsible for the graph match
+        (the cache layer enforces it by content digest). Exactness
+        never rests on the cache: one fresh BFS from the cached witness
+        establishes a true diameter lower bound; when it reproduces the
+        cached diameter, every cached upper bound is a certificate at
+        or below it and the run finishes after that single traversal.
+        When it does not (inconsistent artifacts), a warning is issued,
+        no cached facts are applied, and the normal
+        Winnow/Chain/Eliminate machinery runs cold — only the witness
+        BFS's own eccentricity is kept as the initial bound — so the
+        result is exact either way. Artifacts whose
+        shape does not match the graph are ignored with a warning.
     deadline:
         Optional ``time.perf_counter()`` instant after which the run
         aborts with :class:`~repro.errors.BenchmarkTimeout` — the same
@@ -150,12 +178,28 @@ def fdiam_with_state(
         if len(isolated):
             state.remove(isolated, np.int64(0), Reason.DEGREE_ZERO)
         start = graph.max_degree_vertex() if config.use_max_degree_start else 0
+        if warm is not None and not _warm_usable(warm, n):
+            warnings.warn(
+                "warm-start artifacts do not match the graph shape; "
+                "running cold",
+                stacklevel=2,
+            )
+            warm = None
 
     # ------------------------------------------------------------------
-    # Initial bound (Algorithm 1 lines 1-3).
+    # Initial bound (Algorithm 1 lines 1-3) — or, warm, one verifying
+    # BFS from the cached diameter witness.
     # ------------------------------------------------------------------
     with stats.timing("init_bfs"):
-        sweep = two_sweep(state, start)
+        if warm is not None:
+            witness = int(warm.witness)
+            if not 0 <= witness < n:
+                witness = start
+            sweep = witness_sweep(state, witness)
+            stats.warm_start = True
+            stats.warm_verified = sweep.bound == int(warm.diameter)
+        else:
+            sweep = two_sweep(state, start)
     state.bound = sweep.bound
     stats.initial_bound = sweep.bound
     connected = sweep.visited_from_start == n
@@ -181,20 +225,44 @@ def fdiam_with_state(
             stats.lane_fallbacks += 1
 
     # ------------------------------------------------------------------
-    # Bulk pruning (Algorithm 1 lines 4-5).
+    # Bulk pruning (Algorithm 1 lines 4-5). A *verified* warm start
+    # (the witness reproduced the cached diameter) replaces all of it:
+    # the cold run proved no eccentricity exceeds the cached diameter,
+    # so every vertex is discharged by certificate and the main loop
+    # finds nothing active. An unverified warm start falls back to the
+    # full pruning machinery, seeded with whatever cached facts remain
+    # valid under the fresh witness bound.
     # ------------------------------------------------------------------
-    if config.use_winnow:
-        with stats.timing("winnow"):
-            winnow(state, start, state.bound)
-    if config.use_chain:
-        with stats.timing("chain"):
-            process_chains(state)
-        # Chain-tip batching (config.chain_tip_batch) may have raised the
-        # bound past the 2-sweep value; resume the incremental winnow so
-        # the wider ball prunes before the main loop starts.
-        if config.use_winnow and state.bound > sweep.bound:
+    if warm is not None and stats.warm_verified:
+        if config.use_winnow and _restore_warm_ball(state, warm):
+            # Later winnow extensions must use the pinned centre.
+            start = int(warm.winnow_center)
+        with stats.timing("other"):
+            _apply_warm_certificates(state, warm)
+    else:
+        if warm is not None:
+            # An inconsistent sidecar discredits *all* of its claims, so
+            # none of the cached facts are applied; the witness BFS's
+            # eccentricity is its own (real) fact and is kept as the
+            # initial bound for an otherwise cold run.
+            warnings.warn(
+                f"warm-start witness eccentricity {sweep.bound} does not "
+                f"reproduce the cached diameter {int(warm.diameter)}; "
+                "distrusting the cached certificates and running cold",
+                stacklevel=2,
+            )
+        if config.use_winnow:
             with stats.timing("winnow"):
                 winnow(state, start, state.bound)
+        if config.use_chain:
+            with stats.timing("chain"):
+                process_chains(state)
+            # Chain-tip batching (config.chain_tip_batch) may have raised
+            # the bound past the 2-sweep value; resume the incremental
+            # winnow so the wider ball prunes before the main loop starts.
+            if config.use_winnow and state.bound > sweep.bound:
+                with stats.timing("winnow"):
+                    winnow(state, start, state.bound)
 
     # ------------------------------------------------------------------
     # Main loop (Algorithm 1 lines 6-21).
@@ -239,3 +307,60 @@ def fdiam_with_state(
         stats=stats,
     )
     return result, state
+
+
+# ----------------------------------------------------------------------
+# Warm-start helpers (the cache layer builds the artifacts; exactness
+# is enforced here, where the fresh witness bound lives).
+# ----------------------------------------------------------------------
+def _warm_usable(warm, n: int) -> bool:
+    """Whether the artifacts are structurally valid for an ``n``-graph."""
+    status = getattr(warm, "status", None)
+    if status is None or len(status) != n:
+        return False
+    return getattr(warm, "witness", None) is not None
+
+
+def _apply_warm_certificates(state: FDiamState, warm) -> None:
+    """Discharge every active vertex from the verified cached run.
+
+    Sound because the witness BFS reproduced the cached diameter ``D``
+    on this exact graph: the cold run's completed search proved
+    ``ecc(v) <= D`` for *every* vertex, so ``D`` (tightened to the
+    cached per-vertex value where one was recorded) is a valid upper
+    bound at or below the current true lower bound — exactly the
+    condition under which F-Diam removes a vertex without a traversal.
+    """
+    status = np.asarray(warm.status, dtype=np.int64)
+    bound = np.int64(state.bound)
+    numeric = (status >= 0) & (status < MAX_BOUND)
+    ub = np.where(numeric, np.minimum(status, bound), bound)
+    active = np.flatnonzero(state.active_mask())
+    if len(active):
+        state.remove_bounded(active, ub[active], Reason.WARM)
+
+
+def _restore_warm_ball(state: FDiamState, warm) -> bool:
+    """Re-adopt the cached winnow ball; True on success.
+
+    Only called on the verified path, where the witness bound equals
+    the cached diameter — the ``radius <= bound // 2`` recheck is then
+    exactly the condition the cold run grew the ball under, but it is
+    enforced again here so a sidecar carrying an oversized ball can
+    never smuggle an unsound discard past the witness verification.
+    """
+    n = state.graph.num_vertices
+    center = int(getattr(warm, "winnow_center", -1))
+    radius = int(getattr(warm, "winnow_radius", 0))
+    visited = getattr(warm, "winnow_visited", None)
+    frontier = getattr(warm, "winnow_frontier", None)
+    if not 0 <= center < n or visited is None or len(visited) != n:
+        return False
+    if frontier is None or radius > state.bound // 2:
+        return False
+    with state.stats.timing("winnow"):
+        restore_winnow(state, center, radius, visited, frontier)
+        ball = np.flatnonzero(np.asarray(warm.status, dtype=np.int64) == WINNOWED)
+        if len(ball):
+            state.remove(ball, WINNOWED, Reason.WARM)
+    return True

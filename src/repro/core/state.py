@@ -138,6 +138,30 @@ class FDiamState:
         if len(already) and value != WINNOWED:
             self.status[already] = np.minimum(self.status[already], value)
 
+    def remove_bounded(
+        self, vertices: np.ndarray, values: np.ndarray, reason: Reason
+    ) -> None:
+        """Write per-vertex upper bounds in one vectorized pass.
+
+        The warm-start bulk application of cached certificates: like
+        :meth:`remove` but with an individual bound per vertex, under
+        the same first-touch attribution and tighter-bound-wins merge
+        rules. Every ``values[i]`` must be a valid upper bound on
+        ``ecc(vertices[i])``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        current = self.status[vertices]
+        newly = current == ACTIVE
+        if newly.any():
+            self.stats.removed_by[reason] += int(np.count_nonzero(newly))
+            self.reason[vertices[newly]] = reason
+            self.status[vertices[newly]] = values[newly]
+        already = (current != ACTIVE) & (current != WINNOWED)
+        if already.any():
+            hit = vertices[already]
+            self.status[hit] = np.minimum(self.status[hit], values[already])
+
     def remove_levels(
         self, levels: list[np.ndarray], base: int, reason: Reason
     ) -> None:

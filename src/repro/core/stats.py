@@ -42,6 +42,7 @@ class Reason(IntEnum):
     DEGREE_ZERO = 4
     COMPUTED = 5  # eccentricity explicitly evaluated by a BFS
     PREP = 6  # peeled / collapsed / component-skipped before any BFS
+    WARM = 7  # discharged by a warm-start certificate from the cache
 
 
 @dataclass
@@ -82,6 +83,10 @@ class PrepStats:
 
     #: Canonical stage tokens the run was configured with.
     stages: tuple[str, ...] = ()
+    #: Stages the cost-model payoff gate vetoed (``plan`` spec only):
+    #: configured but skipped because their modeled wall-clock cost
+    #: exceeded the traversal work they could plausibly save.
+    stages_gated: tuple[str, ...] = ()
 
     # Pendant-tree peeling.
     peel_vertices_removed: int = 0
@@ -160,6 +165,16 @@ class FDiamStats:
     #: :func:`repro.prep.pipeline.fdiam_prepped`.
     prep: PrepStats | None = None
 
+    #: Whether the run was seeded from a warm-start cache artifact
+    #: (:mod:`repro.cache`): the 2-sweep is replaced by a single witness
+    #: BFS and cached certificates discharge the remaining vertices.
+    warm_start: bool = False
+    #: Whether the witness BFS reproduced the cached diameter exactly
+    #: (the fast path); ``False`` means the artifacts were inconsistent,
+    #: none of their claims were applied, and the run fell back to the
+    #: full cold pruning pipeline.
+    warm_verified: bool = False
+
     @property
     def bfs_traversals(self) -> int:
         """Paper Table 3's count: eccentricity BFS + Winnow calls."""
@@ -189,6 +204,7 @@ class FDiamStats:
             "degree0": self.removed_by[Reason.DEGREE_ZERO] / n,
             "computed": self.removed_by[Reason.COMPUTED] / n,
             "prep": self.removed_by[Reason.PREP] / n,
+            "warm": self.removed_by[Reason.WARM] / n,
         }
 
     def merge_from(self, other: FDiamStats) -> None:

@@ -16,7 +16,7 @@ from repro.core.state import FDiamState
 from repro.core.stats import Reason
 from repro.errors import AlgorithmError
 
-__all__ = ["TwoSweepResult", "two_sweep"]
+__all__ = ["TwoSweepResult", "two_sweep", "witness_sweep"]
 
 
 @dataclass(frozen=True)
@@ -66,4 +66,27 @@ def two_sweep(state: FDiamState, start: int) -> TwoSweepResult:
         far_vertex=far,
         bound=second.eccentricity,
         visited_from_start=first.visited_count,
+    )
+
+
+def witness_sweep(state: FDiamState, witness: int) -> TwoSweepResult:
+    """One BFS from a cached diameter witness (warm-start init).
+
+    The warm path replaces the 2-sweep with a single eccentricity BFS
+    from the vertex the cached run recorded as realizing the diameter:
+    its fresh eccentricity is a *true* lower bound on the diameter of
+    this exact graph (no trust in the cache required), and the visit
+    count doubles as the connectivity probe the 2-sweep provides.
+    """
+    graph = state.graph
+    if graph.num_vertices == 0:
+        raise AlgorithmError("witness_sweep on an empty graph")
+    res = state.ecc_bfs(witness)
+    state.remove(witness, res.eccentricity, Reason.COMPUTED)
+    return TwoSweepResult(
+        start=witness,
+        start_ecc=res.eccentricity,
+        far_vertex=witness,
+        bound=res.eccentricity,
+        visited_from_start=res.visited_count,
     )

@@ -27,7 +27,35 @@ from repro.core.state import WINNOWED, FDiamState
 from repro.core.stats import Reason
 from repro.errors import AlgorithmError
 
-__all__ = ["winnow"]
+__all__ = ["winnow", "restore_winnow"]
+
+
+def restore_winnow(
+    state: FDiamState,
+    center: int,
+    radius: int,
+    visited: np.ndarray,
+    frontier: np.ndarray,
+) -> None:
+    """Adopt a previously grown winnow ball (warm start, §4.5 extended).
+
+    The caller guarantees the ball belongs to the *same* graph (content
+    digest match) and that ``radius <= state.bound // 2`` under the
+    run's fresh witness bound — under those conditions the ball is
+    exactly what :func:`winnow` would have grown, so adopting its
+    visited set and resume frontier is sound, and a later
+    :func:`winnow` call extends it incrementally as usual. Pins the
+    centre; must run before any winnowing in this run.
+    """
+    if state.winnow_center is not None:
+        raise AlgorithmError(
+            "cannot restore a winnow ball after winnowing has started "
+            f"(centre already pinned to {state.winnow_center})"
+        )
+    state.winnow_center = int(center)
+    state.winnow_radius = int(radius)
+    state.winnow_visited = np.asarray(visited, dtype=bool).copy()
+    state.winnow_frontier = np.asarray(frontier, dtype=np.int64).copy()
 
 
 def winnow(state: FDiamState, center: int, bound: int) -> int:

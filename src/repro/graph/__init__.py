@@ -34,6 +34,7 @@ from repro.graph.kcore import (
     k_core_mask,
 )
 from repro.graph.io import (
+    graph_digest,
     load_npz,
     read_dimacs,
     read_edge_list,
@@ -69,6 +70,7 @@ __all__ = [
     "from_edges",
     "from_networkx",
     "from_scipy_sparse",
+    "graph_digest",
     "induced_subgraph",
     "is_symmetric",
     "k_core_mask",

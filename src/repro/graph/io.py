@@ -29,8 +29,11 @@ number.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
+import warnings
+import zipfile
 from pathlib import Path
 from typing import TextIO
 
@@ -52,6 +55,7 @@ __all__ = [
     "save_npz",
     "load_npz",
     "read_graph",
+    "graph_digest",
 ]
 
 _COMMENT_PREFIXES = ("#", "%")
@@ -401,9 +405,17 @@ def write_matrix_market(
 # ----------------------------------------------------------------------
 # Native .npz
 # ----------------------------------------------------------------------
-def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Save the CSR arrays to a compressed ``.npz`` archive."""
-    np.savez_compressed(
+def save_npz(
+    graph: CSRGraph, path: str | os.PathLike, *, compressed: bool = True
+) -> None:
+    """Save the CSR arrays to an ``.npz`` archive.
+
+    ``compressed=False`` writes the members stored (uncompressed),
+    which is what makes :func:`load_npz`'s ``mmap=True`` able to map
+    the arrays straight off disk.
+    """
+    saver = np.savez_compressed if compressed else np.savez
+    saver(
         path,
         indptr=graph.indptr,
         indices=graph.indices,
@@ -411,8 +423,83 @@ def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
     )
 
 
-def load_npz(path: str | os.PathLike) -> CSRGraph:
-    """Load a graph previously written by :func:`save_npz`."""
+def _mmap_npz_arrays(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
+    """Memory-map the stored ``.npy`` members of an ``.npz`` archive.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request
+    for ``.npz`` archives, so the zip member offsets are resolved by
+    hand: each *stored* (uncompressed) member is a plain ``.npy``
+    stream at a known byte offset, mappable with :class:`numpy.memmap`.
+    Returns ``None`` when any member is deflated (a compressed archive
+    cannot be mapped) so the caller can fall back to a normal load.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+        for info in zf.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # Local file header: 30 fixed bytes, then the name and the
+            # extra field; the member's data (the .npy stream) follows.
+            fh.seek(info.header_offset + 26)
+            name_len = int.from_bytes(fh.read(2), "little")
+            extra_len = int.from_bytes(fh.read(2), "little")
+            data_start = info.header_offset + 30 + name_len + extra_len
+            fh.seek(data_start)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            else:
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            if dtype.hasobject:
+                raise GraphFormatError(f"{path}: object arrays not supported")
+            key = info.filename[: -len(".npy")]
+            arrays[key] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=fh.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def load_npz(path: str | os.PathLike, *, mmap: bool = False) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`.
+
+    With ``mmap=True`` the CSR arrays are memory-mapped read-only
+    straight from the archive (no copy, pages fault in on first touch)
+    — requires the archive to be stored uncompressed
+    (``save_npz(..., compressed=False)``). A compressed archive falls
+    back to the normal in-memory load with a warning.
+    """
+    if mmap:
+        try:
+            arrays = _mmap_npz_arrays(path)
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise GraphFormatError(f"{path}: not a loadable .npz ({exc})") from exc
+        if arrays is None:
+            warnings.warn(
+                f"{path}: archive is compressed; cannot memory-map, "
+                "loading into memory instead "
+                "(write it with save_npz(..., compressed=False) to mmap)",
+                stacklevel=2,
+            )
+        else:
+            try:
+                indptr = arrays["indptr"]
+                indices = arrays["indices"]
+            except KeyError as exc:
+                raise GraphFormatError(
+                    f"{path}: missing CSR array {exc.args[0]!r}"
+                ) from exc
+            if "name" in arrays:
+                name = str(np.asarray(arrays["name"])[()])
+            else:
+                name = Path(path).stem
+            return CSRGraph(indptr, indices, name=name)
     with np.load(path, allow_pickle=False) as data:
         try:
             indptr = data["indptr"]
@@ -423,6 +510,24 @@ def load_npz(path: str | os.PathLike) -> CSRGraph:
             ) from exc
         name = str(data["name"]) if "name" in data else Path(path).stem
     return CSRGraph(indptr, indices, name=name)
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """Content digest of a graph's CSR arrays (hex SHA-256).
+
+    The key of the warm-start cache (:mod:`repro.cache`): two graphs
+    share a digest iff their ``indptr``/``indices`` arrays are byte-
+    identical (dtype and shape included, so a permuted, perturbed, or
+    differently-typed graph never collides). The name is deliberately
+    excluded — renaming a graph does not change any distance.
+    """
+    h = hashlib.sha256()
+    for arr in (graph.indptr, graph.indices):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -439,11 +544,18 @@ _READERS = {
 }
 
 
-def read_graph(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
-    """Read a graph, choosing the format from the file extension."""
+def read_graph(
+    path: str | os.PathLike, name: str | None = None, *, mmap: bool = False
+) -> CSRGraph:
+    """Read a graph, choosing the format from the file extension.
+
+    ``mmap`` requests memory-mapped CSR arrays and only applies to
+    ``.npz`` archives (see :func:`load_npz`); text formats always parse
+    into memory.
+    """
     suffix = Path(path).suffix.lower()
     if suffix == ".npz":
-        return load_npz(path)
+        return load_npz(path, mmap=mmap)
     reader = _READERS.get(suffix)
     if reader is None:
         raise GraphFormatError(

@@ -380,6 +380,13 @@ def table_prep_reduction(cfg: SuiteConfig | None = None) -> ExperimentReport:
     side by side. The diameters are asserted equal — the pipeline is
     exactness-preserving by construction, and this table doubles as a
     catalog-wide equivalence check.
+
+    ``auto`` consults the cost-model payoff gate first, so on inputs
+    whose structure offers a reduction stage nothing to bite on (no
+    pendant trees, no mirror classes, cache-resident CSR) the stage is
+    vetoed and its counters are legitimately zero — the run then never
+    does *more* traversal work than plain, and the ``gated`` column
+    records which stages were withheld.
     """
     cfg = cfg or SuiteConfig()
     rows = []
@@ -400,6 +407,7 @@ def table_prep_reduction(cfg: SuiteConfig | None = None) -> ExperimentReport:
             "edges_prep": prepped.stats.edges_examined,
             "vertices_removed": prep.vertices_removed if prep else 0,
             "tip_batched": prep.tip_batch_components if prep else 0,
+            "stages_gated": prep.stages_gated if prep else (),
             "diameter": plain.diameter,
         }
         data[wl.name] = entry
@@ -411,6 +419,7 @@ def table_prep_reduction(cfg: SuiteConfig | None = None) -> ExperimentReport:
                 "edges (plain)": entry["edges_plain"],
                 "edges (prep)": entry["edges_prep"],
                 "removed": entry["vertices_removed"],
+                "gated": ",".join(entry["stages_gated"]) or "-",
                 "diameter": entry["diameter"],
             }
         )
@@ -423,6 +432,7 @@ def table_prep_reduction(cfg: SuiteConfig | None = None) -> ExperimentReport:
             "edges (plain)",
             "edges (prep)",
             "removed",
+            "gated",
             "diameter",
         ],
         rows,

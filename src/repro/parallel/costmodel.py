@@ -46,7 +46,12 @@ from repro.bfs.instrumentation import BFSTrace
 from repro.errors import AlgorithmError
 from repro.parallel.chunking import DEFAULT_CHUNK_SIZE
 
-__all__ = ["CostModelParams", "LevelSynchronousCostModel", "LANE_WIDTH"]
+__all__ = [
+    "CostModelParams",
+    "LevelSynchronousCostModel",
+    "ReductionGates",
+    "LANE_WIDTH",
+]
 
 #: Lanes per machine word (mirrors :data:`repro.bfs.bitparallel.LANE_WIDTH`
 #: without importing the BFS layer into the model).
@@ -103,6 +108,30 @@ class CostModelParams:
     #: Minimum fill of the trailing lane word for a sweep to pay off;
     #: 0.125 = at least 8 of 64 lanes in use.
     lane_min_occupancy: float = 0.125
+    #: Vertices-plus-arcs a structural reduction stage (peel / collapse)
+    #: processes per second. Measured on the pinned analogs: the pure-
+    #: numpy peel and mirror passes stream the CSR at 1-2M items/s, an
+    #: order of magnitude below the BFS gather rate.
+    prep_edge_rate: float = 2e6
+    #: Expected traversal count of a full F-Diam run, used to size the
+    #: work a reduction could save before any BFS has run (the paper's
+    #: Table 3 counts sit around two dozen across both regimes).
+    prep_bfs_estimate: float = 24.0
+    #: BFS-work saving per unit of degree-1 vertex fraction: peeling a
+    #: pendant tree removes more vertices than its leaves (the whole
+    #: subtree hangs off them), so the leaf fraction undercounts.
+    peel_gain: float = 4.0
+    #: BFS-work saving per unit of mirror-candidate fraction. Collapse
+    #: only removes a vertex when the candidate signature is confirmed
+    #: by a full adjacency comparison, so the proxy overcounts; the
+    #: gain stays below 1 to compensate.
+    collapse_gain: float = 0.5
+    #: Fraction of traversal time a cache-friendly vertex order can
+    #: recover once the CSR spills the last-level cache.
+    reorder_gain: float = 0.2
+    #: Last-level cache size; reordering a graph whose CSR already fits
+    #: in cache cannot improve locality, whatever the edge span says.
+    llc_bytes: int = 32 * 2**20
 
     def __post_init__(self) -> None:
         if self.edge_rate <= 0 or self.chunk_size < 1 or self.bandwidth_threads < 1:
@@ -113,6 +142,37 @@ class CostModelParams:
             raise AlgorithmError("invalid cost model parameters")
         if not 0 < self.lane_min_occupancy <= 1:
             raise AlgorithmError("invalid cost model parameters")
+        if self.prep_edge_rate <= 0 or self.prep_bfs_estimate <= 0:
+            raise AlgorithmError("invalid cost model parameters")
+        if min(self.peel_gain, self.collapse_gain, self.reorder_gain) <= 0:
+            raise AlgorithmError("invalid cost model parameters")
+        if self.llc_bytes < 1:
+            raise AlgorithmError("invalid cost model parameters")
+
+
+@dataclass(frozen=True)
+class ReductionGates:
+    """Payoff verdict for the structural prep stages of one run.
+
+    ``True`` means the stage's modeled saving covers its modeled cost;
+    ``gated`` lists the stages that were vetoed (canonical token names),
+    in pipeline order, for the run statistics.
+    """
+
+    peel: bool
+    collapse: bool
+    reorder: bool
+
+    @property
+    def gated(self) -> tuple[str, ...]:
+        out = []
+        if not self.peel:
+            out.append("peel")
+        if not self.collapse:
+            out.append("collapse")
+        if not self.reorder:
+            out.append("reorder")
+        return tuple(out)
 
 
 class LevelSynchronousCostModel:
@@ -177,6 +237,54 @@ class LevelSynchronousCostModel:
         else:
             estimate = 1.5 * sqrt(num_vertices)
         return max(1, ceil(estimate))
+
+    def reduction_gates(
+        self,
+        *,
+        num_vertices: int,
+        num_directed_edges: int,
+        deg1_count: int,
+        graph_bytes: int,
+        mirror_candidates=None,
+    ) -> ReductionGates:
+        """Decide which structural reductions pay their own wall-clock.
+
+        Every stage is an O(n + m) pass over the CSR whose modeled cost
+        is ``(n + m) / prep_edge_rate``; it pays off only when the
+        traversal work it can plausibly remove from the expected
+        ``prep_bfs_estimate`` BFS calls exceeds that cost:
+
+        * **peel** saves in proportion to the pendant-tree mass, lower-
+          bounded by the degree-1 vertex fraction times ``peel_gain``;
+        * **collapse** saves at most the mirror-candidate fraction
+          (vertices sharing a degree/neighbour-sum signature) times
+          ``collapse_gain`` — ``mirror_candidates`` is a zero-argument
+          callable evaluated lazily, and only when the stage could pay
+          off even at 100 % candidate density (the proxy itself costs
+          an O(m) pass, which must not be burned on hopeless inputs);
+        * **reorder** saves nothing while the CSR fits the last-level
+          cache, and at most ``reorder_gain`` of the run beyond it.
+
+        The ratios are scale-free in ``n + m``, so the verdicts reflect
+        graph *structure*: pendant-rich or mirror-rich inputs keep
+        their reductions at any size, while the pinned benchmark
+        analogs (0.4-0.8 % degree-1 vertices, sub-cache CSR) gate all
+        three and fall through to the planner-tweaked plain path.
+        """
+        p = self.params
+        n, m = max(num_vertices, 1), max(num_directed_edges, 0)
+        run_s = p.prep_bfs_estimate * m / p.edge_rate
+        stage_s = (n + m) / p.prep_edge_rate
+        peel = p.peel_gain * (deg1_count / n) * run_s >= stage_s
+        collapse = p.collapse_gain * run_s >= stage_s
+        if collapse and mirror_candidates is not None:
+            candidates = mirror_candidates()
+            collapse = p.collapse_gain * (candidates / n) * run_s >= stage_s
+        reorder = (
+            graph_bytes > p.llc_bytes
+            and p.reorder_gain * run_s >= stage_s
+        )
+        return ReductionGates(peel=peel, collapse=collapse, reorder=reorder)
 
     def lane_batch_advisable(
         self, diameter_estimate: int, lanes: int, *, merged: bool = False

@@ -37,7 +37,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import induced_subgraph
 
-__all__ = ["MirrorResult", "collapse_mirrors"]
+__all__ = ["MirrorResult", "collapse_mirrors", "mirror_potential"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,31 @@ def _duplicate_signature_mask(
     dup = np.zeros(len(a), dtype=bool)
     dup[order] = dup_sorted
     return dup
+
+
+def mirror_potential(graph: CSRGraph) -> int:
+    """Upper bound on the vertices :func:`collapse_mirrors` could remove.
+
+    Counts the positive-degree vertices whose ``(degree, neighbour-sum)``
+    signature is shared with at least one other vertex — the same cheap
+    O(n + m) pre-filter the collapse itself uses, without the exact
+    adjacency comparison. Every true mirror shares its signature, so
+    this never undercounts; the cost-model payoff gate uses it to skip
+    the full collapse pass on graphs where even the candidate set is
+    too small to pay for it.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    degrees = graph.degrees.astype(np.int64)
+    nonzero = degrees > 0
+    neighbor_sums = np.zeros(n, dtype=np.int64)
+    if nonzero.any():
+        neighbor_sums[nonzero] = np.add.reduceat(
+            graph.indices.astype(np.int64), graph.indptr[:-1][nonzero]
+        )
+    dup = _duplicate_signature_mask(degrees, neighbor_sums) & nonzero
+    return int(np.count_nonzero(dup))
 
 
 def collapse_mirrors(graph: CSRGraph, name: str | None = None) -> MirrorResult:

@@ -24,7 +24,7 @@ outright (a component of ``s`` vertices has diameter at most
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,12 +36,12 @@ from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import induced_subgraph
 from repro.parallel.costmodel import LevelSynchronousCostModel
-from repro.prep.mirror import MirrorResult, collapse_mirrors
+from repro.prep.mirror import MirrorResult, collapse_mirrors, mirror_potential
 from repro.prep.peel import PeelResult, peel_pendant_trees
 from repro.prep.plan import PrepSpec, plan_component
 from repro.prep.reorder import ORDER_STRATEGIES, apply_order, edge_span
 
-__all__ = ["Prepared", "preprocess", "fdiam_prepped"]
+__all__ = ["Prepared", "preprocess", "fdiam_prepped", "gate_spec"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,45 @@ def preprocess(graph: CSRGraph, spec: PrepSpec) -> Prepared:
     )
 
 
+def gate_spec(
+    graph: CSRGraph,
+    spec: PrepSpec,
+    model: LevelSynchronousCostModel | None = None,
+) -> tuple[PrepSpec, tuple[str, ...]]:
+    """Drop stages whose modeled cost exceeds their plausible payoff.
+
+    Only consulted when the ``plan`` stage is on (``--prep auto`` or an
+    explicit spec including ``plan``): each structural stage's O(n + m)
+    pass costs real wall-clock, and on graphs where the stage can touch
+    only a sliver of the vertices that cost is pure regression versus
+    the plain path. Returns the surviving spec plus the tokens of the
+    vetoed stages (recorded in :attr:`PrepStats.stages_gated`). Specs
+    without ``plan`` are returned untouched — an explicit stage list is
+    a command, not a suggestion.
+    """
+    if not spec.plan:
+        return spec, ()
+    model = model or LevelSynchronousCostModel()
+    gates = model.reduction_gates(
+        num_vertices=graph.num_vertices,
+        num_directed_edges=graph.num_directed_edges,
+        deg1_count=int(np.count_nonzero(graph.degrees == 1)),
+        graph_bytes=graph.memory_bytes(),
+        mirror_candidates=lambda: mirror_potential(graph),
+    )
+    gated: list[str] = []
+    if spec.peel and not gates.peel:
+        gated.append("peel")
+        spec = replace(spec, peel=False)
+    if spec.collapse and not gates.collapse:
+        gated.append("collapse")
+        spec = replace(spec, collapse=False)
+    if spec.reorder != "off" and not gates.reorder:
+        gated.append("reorder")
+        spec = replace(spec, reorder="off")
+    return spec, tuple(gated)
+
+
 def fdiam_prepped(
     graph: CSRGraph,
     config: FDiamConfig,
@@ -110,10 +149,52 @@ def fdiam_prepped(
     """Exact diameter via the reduction pipeline (see module docstring)."""
     if graph.num_vertices == 0:
         raise AlgorithmError("fdiam() requires a graph with at least one vertex")
-    spec = PrepSpec.parse(config.prep)
+    requested = PrepSpec.parse(config.prep)
     base_config = config.ablate(prep="off")
-    if not spec.enabled:
+    if not requested.enabled:
         result, _ = fdiam_with_state(graph, base_config, deadline=deadline)
+        return result
+
+    model = LevelSynchronousCostModel()
+    gate_started = time.perf_counter()
+    spec, stages_gated = gate_spec(graph, requested, model)
+    gate_elapsed = time.perf_counter() - gate_started
+
+    if spec.plan and not (spec.peel or spec.collapse or spec.reorder != "off"):
+        # Every structural stage was vetoed: skip the reductions and the
+        # component split entirely (plain fdiam is exact on disconnected
+        # graphs too) and keep only the planner's engine verdict, so
+        # e.g. low-diameter graphs retain the chain-tip lane batching
+        # without paying a single O(n + m) reduction pass.
+        prep_stats = PrepStats(
+            stages=requested.tokens, stages_gated=stages_gated
+        )
+        with_timer = time.perf_counter()
+        plan = plan_component(
+            graph,
+            spec=spec,
+            requested_lanes=base_config.bfs_batch_lanes,
+            model=model,
+        )
+        prep_stats.components_total = 1
+        prep_stats.components_solved = 1
+        if plan.batch_lanes > 0:
+            prep_stats.lane_components += 1
+        else:
+            prep_stats.scalar_components += 1
+        if plan.chain_tip_batch:
+            prep_stats.tip_batch_components += 1
+        plan_elapsed = time.perf_counter() - with_timer
+        result, _ = fdiam_with_state(
+            graph,
+            base_config.ablate(
+                bfs_batch_lanes=plan.batch_lanes,
+                chain_tip_batch=plan.chain_tip_batch,
+            ),
+            deadline=deadline,
+        )
+        result.stats.prep = prep_stats
+        result.stats.times.other += gate_elapsed + plan_elapsed
         return result
 
     total = FDiamStats(
@@ -122,14 +203,15 @@ def fdiam_prepped(
     started = time.perf_counter()
     prepared = preprocess(graph, spec)
     prep_stats = prepared.stats
+    prep_stats.stages = requested.tokens
+    prep_stats.stages_gated = stages_gated
     total.prep = prep_stats
     total.removed_by[Reason.PREP] += prep_stats.vertices_removed
-    total.times.other += time.perf_counter() - started
+    total.times.other += gate_elapsed + time.perf_counter() - started
 
     work = prepared.graph
     best = prepared.correction
     num_components = prepared.removed_components
-    model = LevelSynchronousCostModel()
     have_initial_bound = False
 
     if work.num_vertices:

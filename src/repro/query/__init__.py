@@ -1,0 +1,16 @@
+"""Batched multi-query engine over the bit-parallel substrate.
+
+Answering one distance or eccentricity query costs one BFS; answering
+256 of them as 256 scalar BFS calls costs 256 edge-gather passes over
+the same CSR arrays. :class:`QueryEngine` instead packs the distinct
+sources of a mixed batch into 64-lane bit-parallel sweeps
+(:meth:`repro.bfs.kernel.TraversalKernel.distance_batch`), memoizes the
+resulting distance rows (optionally persisting them through the
+warm-start cache), and keeps recently used graphs' kernels alive in an
+LRU registry — so a 256-query batch typically runs a handful of
+physical sweeps.
+"""
+
+from repro.query.engine import BatchStats, QueryEngine, parse_query
+
+__all__ = ["BatchStats", "QueryEngine", "parse_query"]

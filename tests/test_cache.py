@@ -1,0 +1,217 @@
+"""Warm-start cache: digests, sidecar round-trips, invalidation, trust.
+
+The contract under test is two-sided:
+
+* a *consistent* sidecar makes the next run cheaper (one verifying BFS
+  instead of the full pipeline) with the identical exact answer;
+* an *inconsistent, corrupted, or mismatched* sidecar can never change
+  an answer — every such path degrades to a cold run, with a warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import random_gnp
+from repro.cache import WarmArtifacts, WarmStartStore, fdiam_cached, spectrum_cached
+from repro.core.config import FDiamConfig
+from repro.core.extremes import eccentricity_spectrum
+from repro.core.fdiam import fdiam, fdiam_with_state
+from repro.core.stats import Reason
+from repro.generators import (
+    add_random_edges,
+    caterpillar,
+    disjoint_union,
+    path_graph,
+    permute_vertices,
+    star_graph,
+)
+from repro.generators.grid import grid_2d
+from repro.graph import from_edges, graph_digest
+
+
+@pytest.fixture()
+def graph():
+    g, _ = random_gnp(300, 0.02, seed=7)
+    return g
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return WarmStartStore(tmp_path / "cache")
+
+
+class TestDigest:
+    def test_deterministic(self, graph):
+        assert graph_digest(graph) == graph_digest(graph)
+
+    def test_name_excluded(self):
+        a = from_edges([(0, 1), (1, 2)], 3, "alpha")
+        b = from_edges([(0, 1), (1, 2)], 3, "beta")
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_added_edge_changes_digest(self, graph):
+        perturbed = add_random_edges(graph, 3, seed=1)
+        assert graph_digest(perturbed) != graph_digest(graph)
+
+    def test_permutation_changes_digest(self, graph):
+        permuted = permute_vertices(graph, seed=2)
+        assert graph_digest(permuted) != graph_digest(graph)
+
+
+class TestWarmRoundTrip:
+    def test_cold_then_warm_identical_diameter_fewer_bfs(self, graph, store):
+        cold, info_cold = fdiam_cached(graph, store=store)
+        assert not info_cold.hit and info_cold.saved
+        assert info_cold.path is not None and info_cold.path.exists()
+
+        warm, info_warm = fdiam_cached(graph, store=store)
+        assert info_warm.hit and info_warm.verified
+        assert warm.diameter == cold.diameter
+        assert warm.connected == cold.connected
+        assert warm.stats.warm_start and warm.stats.warm_verified
+        # The ISSUE's bar is >= 40% fewer traversals; the verified path
+        # collapses to exactly the single witness BFS.
+        assert warm.stats.bfs_traversals == 1
+        assert warm.stats.bfs_traversals < cold.stats.bfs_traversals
+
+    def test_warm_attribution_uses_warm_reason(self, graph, store):
+        fdiam_cached(graph, store=store)
+        warm, _ = fdiam_cached(graph, store=store)
+        fractions = warm.stats.removal_fractions()
+        assert fractions["warm"] > 0.5  # certificates discharge the bulk
+
+    def test_disconnected_graph(self, store):
+        g = disjoint_union([grid_2d(5, 5), path_graph(7), star_graph(4)])
+        cold, _ = fdiam_cached(g, store=store)
+        warm, info = fdiam_cached(g, store=store)
+        assert info.verified
+        assert (warm.diameter, warm.infinite) == (cold.diameter, cold.infinite)
+
+    def test_structured_graph_families(self, store, tmp_path):
+        for g in (caterpillar(8, 2), grid_2d(6, 7), star_graph(30)):
+            s = WarmStartStore(tmp_path / f"c-{g.name}-{g.num_vertices}")
+            cold, _ = fdiam_cached(g, store=s)
+            warm, info = fdiam_cached(g, store=s)
+            assert info.verified, g.name
+            assert warm.diameter == cold.diameter == fdiam(g).diameter
+
+    def test_perturbed_graph_misses(self, graph, store):
+        fdiam_cached(graph, store=store)
+        perturbed = add_random_edges(graph, 3, seed=3)
+        res, info = fdiam_cached(perturbed, store=store)
+        assert not info.hit  # different digest -> cold run
+        assert res.diameter == fdiam(perturbed).diameter
+
+
+class TestInvalidation:
+    def test_truncated_sidecar_warns_and_runs_cold(self, graph, store):
+        cold, info = fdiam_cached(graph, store=store)
+        with open(info.path, "r+b") as fh:
+            fh.truncate(64)
+        with pytest.warns(UserWarning, match="unreadable"):
+            res, info2 = fdiam_cached(graph, store=store)
+        assert not info2.hit and info2.saved  # cold run rewrote the sidecar
+        assert res.diameter == cold.diameter
+        # The rewritten sidecar is healthy again.
+        warm, info3 = fdiam_cached(graph, store=store)
+        assert info3.verified and warm.diameter == cold.diameter
+
+    def test_garbage_bytes_warn_and_run_cold(self, graph, store):
+        _, info = fdiam_cached(graph, store=store)
+        info.path.write_bytes(b"this is not a zip archive")
+        with pytest.warns(UserWarning, match="unreadable"):
+            res, info2 = fdiam_cached(graph, store=store)
+        assert not info2.hit
+        assert res.diameter == fdiam(graph).diameter
+
+    def test_wrong_digest_content_rejected(self, graph, store):
+        # A sidecar whose *content* names another digest (renamed or
+        # prefix-collided file) must be rejected, not trusted.
+        _, info = fdiam_cached(graph, store=store)
+        art = store.load(graph)
+        art.digest = "0" * 64
+        with open(info.path, "wb") as fh:
+            np.savez(fh, **art.to_npz_dict())
+        with pytest.warns(UserWarning, match="does not match"):
+            assert store.load(graph) is None
+
+    def test_inconsistent_diameter_distrusted_but_exact(self, graph, store):
+        cold, info = fdiam_cached(graph, store=store)
+        art = store.load(graph)
+        art.diameter += 2  # witness BFS can no longer reproduce this
+        store.save(art)
+        with pytest.warns(UserWarning, match="distrusting"):
+            res, info2 = fdiam_cached(graph, store=store)
+        assert info2.hit and not info2.verified
+        assert res.diameter == cold.diameter  # exact via the cold pipeline
+        assert info2.saved  # the lying sidecar was replaced
+
+    def test_oversized_cached_ball_cannot_discard_unsoundly(self, graph, store):
+        # Forge a winnow radius past bound // 2: the restore recheck
+        # must refuse the ball; the certificates still finish the run.
+        cold, _ = fdiam_cached(graph, store=store)
+        art = store.load(graph)
+        art.winnow_radius = art.diameter  # > diameter // 2
+        store.save(art)
+        res, info = fdiam_cached(graph, store=store)
+        assert info.verified
+        assert res.diameter == cold.diameter
+        assert res.stats.removed_by[Reason.WINNOW] == 0
+
+    def test_shape_mismatch_warns(self, graph, store):
+        art_graph, _ = random_gnp(40, 0.1, seed=9)
+        res_cold, state = fdiam_with_state(art_graph, FDiamConfig())
+        art = WarmArtifacts(
+            digest="x",
+            num_vertices=art_graph.num_vertices,
+            diameter=res_cold.diameter,
+            connected=res_cold.connected,
+            witness=0,
+            status=state.status,
+            reason=state.reason,
+        )
+        with pytest.warns(UserWarning, match="shape"):
+            res, _ = fdiam_with_state(graph, FDiamConfig(), warm=art)
+        assert res.diameter == fdiam(graph).diameter
+
+
+class TestSpectrumCache:
+    def test_spectrum_sidecar_closes_everything(self, graph, store):
+        cold, info = spectrum_cached(graph, store=store)
+        assert not info.hit and info.saved
+        warm, info2 = spectrum_cached(graph, store=store)
+        assert info2.hit
+        assert np.array_equal(warm.eccentricities, cold.eccentricities)
+        assert warm.bfs_traversals == 1  # the landmark verification BFS
+        assert warm.bfs_traversals < cold.bfs_traversals
+
+    def test_spectrum_seeds_fdiam_and_back(self, graph, store):
+        # fdiam sidecar -> spectrum warm -> upgraded sidecar -> 1-BFS fdiam.
+        cold, _ = fdiam_cached(graph, store=store)
+        spec, info = spectrum_cached(graph, store=store)
+        assert info.hit
+        assert spec.diameter == cold.diameter
+        warm, info2 = fdiam_cached(graph, store=store)
+        assert info2.verified and warm.stats.bfs_traversals == 1
+        assert warm.diameter == cold.diameter
+
+    def test_spectrum_matches_plain(self, graph, store):
+        spectrum_cached(graph, store=store)
+        warm, _ = spectrum_cached(graph, store=store)
+        plain = eccentricity_spectrum(graph)
+        assert np.array_equal(warm.eccentricities, plain.eccentricities)
+        assert (warm.radius, warm.diameter) == (plain.radius, plain.diameter)
+
+    def test_forged_landmark_row_ignored(self, graph, store):
+        spectrum_cached(graph, store=store)
+        art = store.load(graph)
+        assert len(art.landmark_sources)
+        art.landmark_dists = art.landmark_dists.copy()
+        art.landmark_dists[0, -1] += 1  # no longer reproducible
+        store.save(art)
+        with pytest.warns(UserWarning, match="do not reproduce"):
+            warm, _ = spectrum_cached(graph, store=store)
+        plain = eccentricity_spectrum(graph)
+        assert np.array_equal(warm.eccentricities, plain.eccentricities)

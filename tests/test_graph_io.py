@@ -139,6 +139,43 @@ class TestNpz:
         with pytest.raises(GraphFormatError, match="missing"):
             load_npz(path)
 
+    def test_mmap_roundtrip(self, tmp_path):
+        import numpy as np
+
+        g, _ = random_gnp(30, 0.2, 14)
+        path = tmp_path / "g.npz"
+        save_npz(g, path, compressed=False)
+        g2 = load_npz(path, mmap=True)
+        # CSRGraph re-wraps the arrays as base-class views, so the
+        # no-copy property shows up as a memmap at the base of each.
+        assert isinstance(g2.indptr.base, np.memmap)
+        assert isinstance(g2.indices.base, np.memmap)
+        assert not g2.indptr.flags.owndata and not g2.indices.flags.owndata
+        assert (g2.indptr == g.indptr).all()
+        assert (g2.indices == g.indices).all()
+        assert g2.name == g.name
+        validate_csr(g2)
+        # The mapped graph must be a full substrate citizen.
+        from repro.core.fdiam import fdiam
+
+        assert fdiam(g2).diameter == fdiam(g).diameter
+
+    def test_mmap_of_compressed_archive_warns_and_loads(self, tmp_path):
+        g = path_graph(9)
+        path = tmp_path / "g.npz"
+        save_npz(g, path, compressed=True)
+        with pytest.warns(UserWarning, match="compressed"):
+            g2 = load_npz(path, mmap=True)
+        assert (g2.indptr == g.indptr).all()
+        assert (g2.indices == g.indices).all()
+
+    def test_read_graph_mmap_dispatch(self, tmp_path):
+        g = path_graph(5)
+        path = tmp_path / "g.npz"
+        save_npz(g, path, compressed=False)
+        g2 = read_graph(path, mmap=True)
+        assert g2.num_edges == 4
+
 
 class TestReadGraphDispatch:
     def test_dispatch_by_extension(self, tmp_path):

@@ -169,12 +169,16 @@ class TestEquivalence:
 
 
 class TestPrepStats:
-    def test_counters_populated_on_auto(self):
+    def test_counters_populated_on_explicit_stages(self):
+        # An explicit stage list without "plan" bypasses the payoff
+        # gate (a command, not a suggestion) and exercises every
+        # counter on the road analog.
         graph = road_network(12, 12, seed=3)
-        res = fdiam(graph, FDiamConfig(prep="auto"))
+        res = fdiam(graph, FDiamConfig(prep="peel,collapse,reorder"))
         prep = res.stats.prep
         assert prep is not None
-        assert prep.stages == ("peel", "collapse", "reorder=auto", "plan")
+        assert prep.stages == ("peel", "collapse", "reorder=auto")
+        assert prep.stages_gated == ()
         assert prep.components_solved >= 1
         assert prep.vertices_removed > 0  # road analog has pendant chains
         assert sum(prep.reorder_strategies.values()) == prep.components_solved
@@ -182,10 +186,35 @@ class TestPrepStats:
 
     def test_skipped_components_counted(self):
         graph = disjoint_union([grid_2d(8, 8), complete_graph(3)])
-        res = fdiam(graph, FDiamConfig(prep="auto"))
+        res = fdiam(graph, FDiamConfig(prep="peel,collapse,reorder"))
         prep = res.stats.prep
         # The K3 (diameter <= 2) can never beat the grid's diameter.
         assert prep.components_skipped >= 1
+
+    def test_gate_vetoes_all_stages_on_structureless_graph(self):
+        # A mesh has no pendant trees, no mirror classes, and fits in
+        # cache, so under "plan" the payoff gate withholds every
+        # structural stage — and the result must still be exact.
+        graph = grid_2d(8, 8)
+        res = fdiam(graph, FDiamConfig(prep="auto"))
+        prep = res.stats.prep
+        assert prep.stages_gated == ("peel", "collapse", "reorder")
+        assert prep.vertices_removed == 0
+        assert res.diameter == fdiam(graph).diameter
+
+    def test_gate_keeps_peel_on_pendant_rich_graph(self):
+        from repro.prep.pipeline import gate_spec
+
+        graph = caterpillar(10, 3)  # 3 of every 4 vertices are pendant
+        spec, gated = gate_spec(graph, PrepSpec.parse("auto"))
+        assert spec.peel
+        assert "peel" not in gated
+
+    def test_gate_is_a_noop_without_plan(self):
+        from repro.prep.pipeline import gate_spec
+
+        spec = PrepSpec.parse("peel,collapse,reorder")
+        assert gate_spec(grid_2d(8, 8), spec) == (spec, ())
 
     def test_preprocess_alone_is_consistent(self):
         graph = caterpillar(10, 3)
