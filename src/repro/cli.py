@@ -6,7 +6,8 @@ the run statistics. Supports every format in :mod:`repro.graph.io`,
 the serial/parallel engines, the ablation switches, the extended
 radius/center/periphery analysis, the cross-run warm-start cache
 (``--cache DIR``), and the batched multi-query engine
-(``python -m repro query <graph-file> 'dist 0 5' 'ecc 3' diam``).
+(``python -m repro query <graph-file> 'dist 0 5' 'ecc 3' diam``), and
+the differential fuzzer (``python -m repro fuzz --budget 60 --seed 0``).
 """
 
 from __future__ import annotations
@@ -21,7 +22,13 @@ from repro.core import FDiamConfig, eccentricity_spectrum, fdiam
 from repro.errors import ReproError
 from repro.graph import degree_summary, read_graph
 
-__all__ = ["main", "build_parser", "build_query_parser", "format_bytes"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_fuzz_parser",
+    "build_query_parser",
+    "format_bytes",
+]
 
 
 def format_bytes(num_bytes: int) -> str:
@@ -167,6 +174,133 @@ def build_query_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro fuzz`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description=(
+            "differential fuzzing with the invariant oracle: sample seeded "
+            "graphs, run the full config lattice plus baselines, cache, and "
+            "query engine, and shrink any disagreement into a replayable "
+            "artifact"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the campaign (default 60)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; trial seeds derive from it deterministically "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--max-vertices",
+        type=int,
+        default=64,
+        metavar="N",
+        help="upper bound on sampled graph size (default 64)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="K",
+        help="also stop after K trials (default: budget only)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default="fuzz-artifacts",
+        help="directory for minimized .npz/.json failure artifacts "
+        "(default fuzz-artifacts/)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without ddmin minimization",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="NPZ",
+        default=None,
+        help="re-run the full battery on a saved failure artifact instead "
+        "of fuzzing",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="FAULT",
+        default=None,
+        help="activate a deliberate fault for the campaign (oracle "
+        "self-test); see repro.verify.faults",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress"
+    )
+    return parser
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``fuzz`` subcommand; returns the exit code."""
+    args = build_fuzz_parser().parse_args(argv)
+    from contextlib import nullcontext
+
+    from repro.verify import available_faults, fuzz, inject_fault, replay
+
+    if args.inject is not None and args.inject not in available_faults():
+        print(
+            f"error: unknown fault {args.inject!r}; available: "
+            f"{', '.join(available_faults())}",
+            file=sys.stderr,
+        )
+        return 2
+    fault = inject_fault(args.inject) if args.inject else nullcontext()
+
+    if args.replay is not None:
+        try:
+            with fault:
+                disagreements = replay(args.replay)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if disagreements:
+            print(f"replay: {len(disagreements)} disagreement(s)")
+            for d in disagreements:
+                print(f"  {d}")
+            return 1
+        print("replay: clean (no disagreements)")
+        return 0
+
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    with fault:
+        result = fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            max_trials=args.trials,
+            max_vertices=args.max_vertices,
+            artifact_dir=args.artifacts,
+            shrink=not args.no_shrink,
+            progress=progress,
+        )
+    families = ", ".join(
+        f"{name}×{count}" for name, count in sorted(result.families.items())
+    )
+    print(
+        f"\nfuzz: {result.trials} trials in {result.elapsed:.1f}s "
+        f"(seed {result.seed}), {len(result.failures)} failure(s)"
+    )
+    if families:
+        print(f"families: {families}")
+    for failure in result.failures:
+        print(f"FAIL {failure}")
+    return 0 if result.ok else 1
+
+
 def query_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``query`` subcommand; returns the exit code."""
     args = build_query_parser().parse_args(argv)
@@ -225,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "query":
         return query_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.bfs_batch_lanes < 0:
         print("error: --bfs-batch-lanes must be >= 0", file=sys.stderr)

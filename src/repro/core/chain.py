@@ -130,13 +130,18 @@ def process_chains(state: FDiamState) -> int:
     for tip, anchor, length in zip(tips, anchors, lengths):
         representative[(anchor, length)] = int(tip)
     batchable: list[tuple[int, int, int]] = []
+    kept: list[int] = []
     for (anchor, length), tip in representative.items():
         if tip_step[tip] == max_len or tip_step[tip] == -1 or is_anchor[tip]:
             state.reactivate(tip)
+            kept.append(tip)
             if not is_anchor[tip]:
                 batchable.append((tip, anchor, length))
     if state.config.chain_tip_batch and batchable:
         batch_tip_eccentricities(state, batchable)
+    if state.oracle is not None:
+        state.oracle.check_chain(state, kept)
+        state.oracle.check_stage(state, "chain")
     return len(tips)
 
 

@@ -90,6 +90,15 @@ class FDiamConfig:
         picks stages explicitly — see
         :class:`repro.prep.plan.PrepSpec`. Exactness-preserving: the
         returned diameter is identical with any value.
+    verify:
+        Attach the invariant oracle of :mod:`repro.verify` to the run:
+        reference BFS distances are precomputed up front and every
+        stage transition is checked against the paper's safety
+        theorems (bounds sandwich true eccentricities, Winnow stays
+        inside the ``⌊bound/2⌋`` ball, Eliminate never writes past the
+        ``bound - ecc`` radius, chain-tip dominance, diameter-witness
+        preservation). O(n·m) setup — meant for the fuzzer and tests
+        on small graphs, never for benchmark runs.
     """
 
     engine: Engine = "parallel"
@@ -106,6 +115,7 @@ class FDiamConfig:
     lane_fallback: bool = True
     chain_tip_batch: bool = False
     prep: str = "off"
+    verify: bool = False
 
     def ablate(self, **changes: object) -> "FDiamConfig":
         """A copy of this config with the given fields changed."""

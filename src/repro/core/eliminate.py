@@ -69,5 +69,8 @@ def eliminate(
     state.stats.eliminate_calls += 1
     levels = state.kernel.levels([source], depth)
     state.remove_levels(levels, base=ecc, reason=reason)
+    if state.oracle is not None:
+        state.oracle.check_eliminate(state, source, ecc, levels)
+        state.oracle.check_stage(state, "eliminate")
     removed = sum(len(level) for level in levels)
     return removed + (1 if mark_source else 0)

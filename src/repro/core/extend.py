@@ -46,4 +46,6 @@ def extend_eliminated(state: FDiamState, old_bound: int, new_bound: int) -> int:
     state.stats.eliminate_calls += 1
     levels = state.kernel.levels(seeds, depth)
     state.remove_levels(levels, base=old_bound, reason=Reason.ELIMINATE)
+    if state.oracle is not None:
+        state.oracle.check_stage(state, "extend")
     return sum(len(level) for level in levels)

@@ -203,6 +203,8 @@ def fdiam_with_state(
     state.bound = sweep.bound
     stats.initial_bound = sweep.bound
     connected = sweep.visited_from_start == n
+    if state.oracle is not None:
+        state.oracle.check_stage(state, "two-sweep")
 
     # With lanes requested, re-check against the cost model now that the
     # 2-sweep has produced a real diameter lower bound: merged lane
@@ -283,6 +285,8 @@ def fdiam_with_state(
             )
         with stats.timing("ecc_bfs"):
             ecc_v = state.ecc_bfs(v).eccentricity
+        if state.oracle is not None:
+            state.oracle.check_computed(state, v, ecc_v)
         state.remove(v, np.int64(ecc_v), Reason.COMPUTED)
 
         if ecc_v > state.bound:
@@ -300,6 +304,8 @@ def fdiam_with_state(
                 eliminate(state, v, ecc_v, state.bound)
         # ecc_v == bound: "F-Diam only eliminates v" — already done above.
 
+    if state.oracle is not None:
+        state.oracle.check_final(state, state.bound, connected)
     result = DiameterResult(
         diameter=state.bound,
         connected=connected,

@@ -61,6 +61,7 @@ class FDiamState:
         "winnow_radius",
         "winnow_frontier",
         "winnow_visited",
+        "oracle",
     )
 
     def __init__(
@@ -106,6 +107,16 @@ class FDiamState:
         self.winnow_radius = 0
         self.winnow_frontier = np.empty(0, dtype=np.int64)
         self.winnow_visited = np.zeros(graph.num_vertices, dtype=bool)
+
+        #: Invariant oracle (``config.verify``): every stage hook checks
+        #: its writes against reference BFS distances. ``None`` in
+        #: normal runs, so the hooks cost one attribute test.
+        self.oracle = None
+        if config.verify:
+            # Call-time import: repro.verify sits above the core layer.
+            from repro.verify.oracle import InvariantOracle
+
+            self.oracle = InvariantOracle(graph)
 
     # ------------------------------------------------------------------
     # Removal primitives (every status write funnels through these so

@@ -110,6 +110,8 @@ def winnow(state: FDiamState, center: int, bound: int) -> int:
     else:
         state.winnow_frontier = np.empty(0, dtype=np.int64)
     state.winnow_radius = target_radius
+    if state.oracle is not None:
+        state.oracle.check_stage(state, "winnow")
     return expanded
 
 

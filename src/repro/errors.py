@@ -43,6 +43,25 @@ class AlgorithmError(ReproError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A machine-checked algorithm invariant failed mid-run.
+
+    Raised by the invariant oracle of :mod:`repro.verify` when a run
+    executed with ``FDiamConfig.verify`` breaks one of the paper's
+    safety properties — an upper bound below a true eccentricity, a
+    winnowed vertex outside the ``⌊bound/2⌋`` ball (Theorems 2–3), an
+    Eliminate write past the ``bound - ecc`` radius (Theorem 1), lost
+    chain-tip dominance, or a discarded diameter witness. The message
+    names the stage and the offending vertices; the differential fuzzer
+    shrinks the triggering graph into a replayable artifact.
+    """
+
+    def __init__(self, message: str, *, stage: str = ""):
+        super().__init__(message)
+        #: The pipeline stage whose check failed (``"winnow"`` etc.).
+        self.stage = stage
+
+
 class BenchmarkTimeout(ReproError):
     """A benchmark run exceeded its configured time budget.
 

@@ -18,18 +18,42 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.generators.chains import add_tendrils
-from repro.generators.perturb import permute_vertices
+from repro.generators.perturb import (
+    add_isolated_vertices,
+    disjoint_union,
+    permute_vertices,
+)
 from repro.generators.citation import citation_graph
 from repro.generators.delaunay import delaunay_graph
 from repro.generators.grid import grid_2d
 from repro.generators.kronecker import kronecker
 from repro.generators.powerlaw import barabasi_albert, copying_model
+from repro.generators.primitives import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
 from repro.generators.rmat import rmat
 from repro.generators.road import road_network
+from repro.graph.build import from_edge_arrays
 from repro.graph.csr import CSRGraph
+from repro.graph.subgraph import induced_subgraph
 
-__all__ = ["AnalogSpec", "PAPER_ANALOGS", "build_analog", "clear_cache"]
+__all__ = [
+    "AnalogSpec",
+    "PAPER_ANALOGS",
+    "FUZZ_FAMILIES",
+    "build_analog",
+    "build_fuzz_graph",
+    "clear_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -208,3 +232,155 @@ def build_analog(name: str) -> CSRGraph:
 def clear_cache() -> None:
     """Drop all cached analogs (tests use this to bound memory)."""
     _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz families (repro.verify)
+# ----------------------------------------------------------------------
+# Every family is a pure function of the ``numpy`` Generator it is
+# handed, so a fuzz trial is replayed *exactly* by its integer seed —
+# the fuzzer records nothing but the seed and the family name. The mix
+# deliberately spans the regimes the solver branches on: high-diameter
+# paths/grids, hub-and-spoke stars, dense cliques, pendant chains for
+# Chain Processing, disconnected unions, and isolated vertices.
+
+
+def _fuzz_gnp(rng: np.random.Generator, max_n: int) -> CSRGraph:
+    """G(n, p) built from numpy alone (no networkx dependency)."""
+    n = int(rng.integers(2, max_n + 1))
+    # Expected degree between ~1 (shattered) and ~4 (mostly connected).
+    p = float(rng.uniform(0.5, 4.0)) / max(n - 1, 1)
+    src, dst = np.triu_indices(n, k=1)
+    keep = rng.random(len(src)) < p
+    return from_edge_arrays(
+        src[keep].astype(np.int64), dst[keep].astype(np.int64), n, "fuzz-gnp"
+    )
+
+
+def _fuzz_path(rng, max_n):
+    return path_graph(int(rng.integers(1, max_n + 1)), name="fuzz-path")
+
+
+def _fuzz_cycle(rng, max_n):
+    return cycle_graph(int(rng.integers(3, max(4, max_n + 1))), name="fuzz-cycle")
+
+
+def _fuzz_star(rng, max_n):
+    return star_graph(int(rng.integers(2, max_n + 1)), name="fuzz-star")
+
+
+def _fuzz_complete(rng, max_n):
+    return complete_graph(int(rng.integers(1, min(12, max_n) + 1)), name="fuzz-complete")
+
+
+def _fuzz_tree(rng, max_n):
+    branching = int(rng.integers(1, 4))
+    height = int(rng.integers(1, 5 if branching > 1 else max(2, max_n // 2)))
+    return balanced_tree(branching, height, name="fuzz-tree")
+
+
+def _fuzz_caterpillar(rng, max_n):
+    spine = int(rng.integers(2, max(3, max_n // 3)))
+    return caterpillar(spine, int(rng.integers(1, 4)), name="fuzz-caterpillar")
+
+
+def _fuzz_barbell(rng, max_n):
+    clique = int(rng.integers(2, 7))
+    return barbell(clique, int(rng.integers(1, max(2, max_n // 3))), name="fuzz-barbell")
+
+
+def _fuzz_grid(rng, max_n):
+    rows = int(rng.integers(1, 9))
+    cols = int(rng.integers(1, max(2, max_n // max(rows, 1)) + 1))
+    return grid_2d(rows, cols, name="fuzz-grid")
+
+
+def _fuzz_tendril_ba(rng, max_n):
+    """A small hub core with pendant tendrils (chain + winnow exercise)."""
+    core = int(rng.integers(4, max(5, max_n // 2)))
+    g = barabasi_albert(core, int(rng.integers(1, 3)), seed=int(rng.integers(2**31)))
+    return add_tendrils(
+        g,
+        count=int(rng.integers(1, 6)),
+        min_len=1,
+        max_len=int(rng.integers(2, 6)),
+        seed=int(rng.integers(2**31)),
+        name="fuzz-tendril-ba",
+    )
+
+
+def _fuzz_union(rng, max_n):
+    """Disjoint union of two smaller family members (disconnected path)."""
+    half = max(2, max_n // 2)
+    parts = [
+        _SMALL_FAMILIES[rng.integers(len(_SMALL_FAMILIES))](rng, half)
+        for _ in range(int(rng.integers(2, 4)))
+    ]
+    return disjoint_union(parts, name="fuzz-union")
+
+
+def _fuzz_edgeless(rng, max_n):
+    """Isolated vertices only — diameter 0, fully disconnected."""
+    n = int(rng.integers(1, max_n + 1))
+    empty = np.empty(0, dtype=np.int64)
+    return from_edge_arrays(empty, empty, n, "fuzz-edgeless")
+
+
+_SMALL_FAMILIES = [
+    _fuzz_gnp,
+    _fuzz_path,
+    _fuzz_cycle,
+    _fuzz_star,
+    _fuzz_complete,
+    _fuzz_tree,
+    _fuzz_caterpillar,
+    _fuzz_barbell,
+    _fuzz_grid,
+    _fuzz_tendril_ba,
+]
+
+#: Name → seeded factory ``(rng, max_vertices) -> CSRGraph``.
+FUZZ_FAMILIES: dict[str, Callable[[np.random.Generator, int], CSRGraph]] = {
+    "gnp": _fuzz_gnp,
+    "path": _fuzz_path,
+    "cycle": _fuzz_cycle,
+    "star": _fuzz_star,
+    "complete": _fuzz_complete,
+    "tree": _fuzz_tree,
+    "caterpillar": _fuzz_caterpillar,
+    "barbell": _fuzz_barbell,
+    "grid": _fuzz_grid,
+    "tendril-ba": _fuzz_tendril_ba,
+    "union": _fuzz_union,
+    "edgeless": _fuzz_edgeless,
+}
+
+
+def build_fuzz_graph(
+    seed: int, *, max_vertices: int = 64
+) -> tuple[CSRGraph, str]:
+    """Sample one fuzz graph, fully determined by ``seed``.
+
+    Picks a family, builds it from a ``default_rng(seed)`` stream, and
+    applies seeded mutations (extra isolated vertices, a random vertex
+    relabeling) with small probability. Returns ``(graph, family)``;
+    re-calling with the same seed and cap reproduces the graph
+    byte-for-byte, which is what makes every fuzz failure replayable
+    from its seed alone.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(FUZZ_FAMILIES)
+    family = names[int(rng.integers(len(names)))]
+    cap = max(2, max_vertices)
+    graph = FUZZ_FAMILIES[family](rng, cap)
+    if graph.num_vertices > cap:
+        # Families treat the cap as a sizing hint; enforce it exactly so
+        # callers (and the shrinker's budget) can rely on it.
+        graph = induced_subgraph(
+            graph, np.arange(cap, dtype=np.int64)
+        ).graph.with_name(graph.name)
+    if rng.random() < 0.25:
+        graph = add_isolated_vertices(graph, int(rng.integers(1, 4)))
+    if rng.random() < 0.5 and graph.num_vertices > 1:
+        graph = permute_vertices(graph, seed=int(rng.integers(2**31)))
+    return graph.with_name(f"fuzz-{family}-{seed}"), family

@@ -13,6 +13,7 @@ directly. Answers are plain ints, in query order.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -145,9 +146,20 @@ class QueryEngine:
                 entry.diameter = int(art.diameter)
                 sources = np.asarray(art.landmark_sources, dtype=np.int64)
                 dists = np.asarray(art.landmark_dists, dtype=np.int32)
-                if dists.shape == (len(sources), graph.num_vertices):
+                n = graph.num_vertices
+                usable = dists.shape == (len(sources), n) and bool(
+                    ((sources >= 0) & (sources < n)).all()
+                )
+                if usable:
                     for j, s in enumerate(sources.tolist()):
                         self._memoize(entry, int(s), dists[j])
+                elif len(sources):
+                    warnings.warn(
+                        f"discarding {len(sources)} stale landmark row(s) "
+                        f"for graph {key!r} (shape or source mismatch); "
+                        "queries run cold",
+                        stacklevel=2,
+                    )
                 entry.dirty = False  # preloaded rows are already on disk
         self._graphs[key] = entry
         self._graphs.move_to_end(key)

@@ -1,0 +1,78 @@
+"""Differential fuzzing and invariant-oracle subsystem.
+
+Four PRs of independently-toggleable machinery — BFS engines, prep
+stages, warm-cache seams, lane batching, the batched query engine —
+multiply into a configuration lattice no hand-written test matrix
+covers. This package turns cross-configuration agreement and the
+paper's pruning theorems into machine-checked properties:
+
+* :mod:`repro.verify.oracle` — the invariant oracle attached to a run
+  via ``FDiamConfig(verify=True)``. It precomputes reference BFS
+  distances and asserts, at every stage transition, that lower/upper
+  bounds sandwich the true eccentricities, that Winnow stays inside
+  the ``⌊bound/2⌋`` ball (Theorems 2–3), that Eliminate never writes
+  past the ``bound - ecc`` radius (Theorem 1), that chain-tip
+  dominance holds, and that a witness of the true diameter is never
+  discarded.
+* :mod:`repro.verify.differential` — one fuzz trial: sample a graph,
+  run the full config lattice (engines × prep × cache warm/cold ×
+  lanes × QueryEngine) plus two baselines, and report any
+  disagreement on diameter, connectivity flag, eccentricities, or
+  per-query distances.
+* :mod:`repro.verify.metamorphic` — relabeling invariance, edge
+  additions never increasing any distance, and disjoint-union
+  composition.
+* :mod:`repro.verify.shrink` — ddmin failure minimization by vertex
+  and edge deletion, plus the replayable ``.npz`` + seed artifacts.
+* :mod:`repro.verify.runner` — the budgeted fuzz loop behind the
+  ``repro fuzz`` CLI subcommand and the CI ``fuzz-smoke`` job.
+* :mod:`repro.verify.faults` — deliberate fault injection used to
+  prove the oracle actually catches the bug classes it claims to.
+
+This package sits *above* :mod:`repro.core`: core modules only ever
+reach it through call-time imports guarded by ``config.verify``.
+"""
+
+from repro.verify.differential import (
+    CONFIG_LATTICE,
+    Disagreement,
+    reference_eccentricities,
+    run_trial,
+)
+from repro.verify.faults import available_faults, inject_fault
+from repro.verify.metamorphic import (
+    check_disjoint_union,
+    check_edge_addition_monotone,
+    check_relabel_invariance,
+)
+from repro.verify.oracle import InvariantOracle
+from repro.verify.runner import FuzzFailure, FuzzResult, fuzz, replay
+from repro.verify.shrink import (
+    ddmin_edges,
+    ddmin_vertices,
+    load_artifact,
+    shrink_failure,
+    write_artifact,
+)
+
+__all__ = [
+    "CONFIG_LATTICE",
+    "Disagreement",
+    "FuzzFailure",
+    "FuzzResult",
+    "InvariantOracle",
+    "available_faults",
+    "check_disjoint_union",
+    "check_edge_addition_monotone",
+    "check_relabel_invariance",
+    "ddmin_edges",
+    "ddmin_vertices",
+    "fuzz",
+    "inject_fault",
+    "load_artifact",
+    "reference_eccentricities",
+    "replay",
+    "run_trial",
+    "shrink_failure",
+    "write_artifact",
+]

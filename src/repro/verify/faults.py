@@ -1,0 +1,99 @@
+"""Deliberate fault injection for oracle and fuzzer self-tests.
+
+A verification subsystem is only trustworthy if it demonstrably fires:
+each fault here is a realistic off-by-one in one of F-Diam's pruning
+stages, injected by rebinding the stage entry point inside the driver
+modules for the duration of a ``with`` block. The test suite (and the
+``repro fuzz --inject`` flag) use them to prove that the invariant
+oracle catches the bug class and that the shrinker reduces the
+triggering graph to a small replayable artifact.
+
+Faults patch the *name bindings* in the consuming modules
+(``repro.core.fdiam`` / ``repro.core.concurrent``), not the defining
+module, because the drivers import the stage functions by name.
+"""
+
+from __future__ import annotations
+
+import importlib
+from contextlib import contextmanager
+
+from repro.errors import AlgorithmError
+
+__all__ = ["available_faults", "inject_fault"]
+
+
+def _eliminate_off_by_one():
+    """Eliminate expands ``bound - ecc + 1`` levels instead of ``bound - ecc``.
+
+    The classic unsound variant of Theorem 1: the extra level removes
+    vertices whose certified upper bound is ``bound + 1``, i.e. above
+    the current bound — exactly the discharge condition violation the
+    oracle's radius check exists for.
+    """
+    # importlib, not ``import a.b as m``: repro.core re-exports the
+    # stage *functions*, which shadow the submodule attributes.
+    elim_mod = importlib.import_module("repro.core.eliminate")
+
+    orig = elim_mod.eliminate
+
+    def faulty(state, source, ecc, bound, **kwargs):
+        return orig(state, source, ecc, bound + 1, **kwargs)
+
+    return faulty, "eliminate"
+
+
+def _winnow_overgrow():
+    """Winnow grows the ball to radius ``⌊bound/2⌋ + 1``.
+
+    Breaks the Theorem 2/3 pairing argument: two vertices of the
+    oversized ball can be ``bound + 2`` apart, so discarding the ball
+    may discard both witnesses of a larger-than-bound distance.
+    """
+    winnow_mod = importlib.import_module("repro.core.winnow")
+
+    orig = winnow_mod.winnow
+
+    def faulty(state, center, bound):
+        return orig(state, center, bound + 2)
+
+    return faulty, "winnow"
+
+
+_FAULTS = {
+    "eliminate-off-by-one": _eliminate_off_by_one,
+    "winnow-overgrow": _winnow_overgrow,
+}
+
+
+def available_faults() -> tuple[str, ...]:
+    """Names accepted by :func:`inject_fault`."""
+    return tuple(_FAULTS)
+
+
+@contextmanager
+def inject_fault(name: str):
+    """Activate the named fault inside the ``with`` block.
+
+    Rebinds the faulty stage function in every driver module that
+    imported it by name; always restores the originals on exit, even
+    when the block raises (which is the expected outcome).
+    """
+    if name not in _FAULTS:
+        raise AlgorithmError(
+            f"unknown fault {name!r}; available: {sorted(_FAULTS)}"
+        )
+    concurrent_mod = importlib.import_module("repro.core.concurrent")
+    fdiam_mod = importlib.import_module("repro.core.fdiam")
+
+    faulty, attr = _FAULTS[name]()
+    patched = []
+    for mod in (fdiam_mod, concurrent_mod):
+        if hasattr(mod, attr):
+            patched.append((mod, attr, getattr(mod, attr)))
+            setattr(mod, attr, faulty)
+    try:
+        yield
+    finally:
+        for mod, attr, orig in patched:
+            setattr(mod, attr, orig)

@@ -1,0 +1,175 @@
+"""Metamorphic relations: transformed inputs with predictable answers.
+
+Where the differential lattice checks that many implementations agree
+on *one* input, metamorphic checks transform the input in ways whose
+effect on the answer is known a priori:
+
+* **Relabeling invariance** — a uniform random vertex permutation
+  changes no distance, so the diameter and the infinity flag are
+  unchanged. Catches any dependence on vertex ids (CSR ordering,
+  max-degree tie-breaks, sequential-scan artifacts).
+* **Edge-addition monotonicity** — adding an edge can only create new
+  shortest paths, never destroy one: every pairwise distance is
+  non-increasing (with ``∞`` for unreachable), and on a *connected*
+  graph the diameter is non-increasing. (The reported CC diameter of
+  a disconnected graph is deliberately exempt: bridging two
+  components can legitimately raise the largest component's
+  eccentricity.)
+* **Disjoint-union composition** — ``diam(G ⊔ H) = max(diam G,
+  diam H)`` under the paper's largest-component-eccentricity
+  convention, and the union is always flagged infinite.
+
+Each check returns a list of :class:`~repro.verify.differential
+.Disagreement` (empty when the relation holds), so the fuzz runner
+treats them exactly like lattice divergences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.reference import serial_distances
+from repro.core.config import FDiamConfig
+from repro.core.fdiam import fdiam
+from repro.errors import ReproError
+from repro.generators.perturb import disjoint_union, permute_vertices
+from repro.graph.build import from_edge_arrays
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "check_disjoint_union",
+    "check_edge_addition_monotone",
+    "check_relabel_invariance",
+]
+
+# Deferred import to avoid a cycle (differential imports this module).
+
+
+def _disagreement(label: str, message: str):
+    from repro.verify.differential import Disagreement
+
+    return Disagreement(label, message)
+
+
+def _run(graph: CSRGraph, label: str):
+    """fdiam with the oracle attached; errors become disagreements."""
+    try:
+        return fdiam(graph, FDiamConfig(verify=True)), None
+    except ReproError as exc:
+        return None, _disagreement(label, f"{type(exc).__name__}: {exc}")
+
+
+def check_relabel_invariance(graph: CSRGraph, rng: np.random.Generator) -> list:
+    """Diameter and infinity flag survive a random relabeling."""
+    label = "metamorphic/relabel"
+    if graph.num_vertices < 2:
+        return []
+    base, err = _run(graph, label)
+    if err is not None:
+        return [err]
+    relabeled = permute_vertices(graph, seed=int(rng.integers(2**31)))
+    other, err = _run(relabeled, label)
+    if err is not None:
+        return [err]
+    if (base.diameter, base.infinite) != (other.diameter, other.infinite):
+        return [
+            _disagreement(
+                label,
+                f"diameter {base.diameter} (infinite={base.infinite}) became "
+                f"{other.diameter} (infinite={other.infinite}) after a "
+                "vertex relabeling",
+            )
+        ]
+    return []
+
+
+def check_edge_addition_monotone(
+    graph: CSRGraph, rng: np.random.Generator, *, samples: int = 4
+) -> list:
+    """Adding one edge never increases any pairwise distance."""
+    label = "metamorphic/edge-add"
+    n = graph.num_vertices
+    if n < 2:
+        return []
+    # Sample a uniform non-loop pair; an existing edge keeps the graph
+    # identical after dedup, which tests idempotence for free.
+    u = int(rng.integers(n))
+    v = int(rng.integers(n - 1))
+    if v >= u:
+        v += 1
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    src = np.concatenate([row_of, [u]])
+    dst = np.concatenate([graph.indices.astype(np.int64), [v]])
+    augmented = from_edge_arrays(src, dst, n, f"{graph.name}+e({u},{v})")
+
+    sources = {u, v} | {int(rng.integers(n)) for _ in range(samples)}
+    inf = np.iinfo(np.int64).max
+    for s in sources:
+        before = serial_distances(graph, s)
+        after = serial_distances(augmented, s)
+        before = np.where(before < 0, inf, before)
+        after = np.where(after < 0, inf, after)
+        worse = np.flatnonzero(after > before)
+        if len(worse):
+            t = int(worse[0])
+            return [
+                _disagreement(
+                    label,
+                    f"adding edge ({u},{v}) increased d({s},{t}) from "
+                    f"{int(before[t])} to {int(after[t])}",
+                )
+            ]
+    if graph.num_vertices and not (serial_distances(graph, 0) < 0).any():
+        base, err = _run(graph, label)
+        if err is not None:
+            return [err]
+        aug, err = _run(augmented, label)
+        if err is not None:
+            return [err]
+        if aug.diameter > base.diameter:
+            return [
+                _disagreement(
+                    label,
+                    f"adding edge ({u},{v}) raised the connected diameter "
+                    f"from {base.diameter} to {aug.diameter}",
+                )
+            ]
+    return []
+
+
+def check_disjoint_union(graph: CSRGraph, rng: np.random.Generator) -> list:
+    """``diam(G ⊔ H) = max`` of the parts, and the union is infinite."""
+    label = "metamorphic/union"
+    if graph.num_vertices == 0:
+        return []
+    # Partner: a small deterministic companion derived from the rng so
+    # the composition covers both same-size and lopsided unions.
+    from repro.generators.registry import build_fuzz_graph
+
+    partner, _family = build_fuzz_graph(int(rng.integers(2**31)), max_vertices=16)
+    combined = disjoint_union([graph, partner], name="fuzz-union-check")
+
+    base, err = _run(graph, label)
+    if err is not None:
+        return [err]
+    part, err = _run(partner, label)
+    if err is not None:
+        return [err]
+    union, err = _run(combined, label)
+    if err is not None:
+        return [err]
+    expected = max(base.diameter, part.diameter)
+    found = []
+    if union.diameter != expected:
+        found.append(
+            _disagreement(
+                label,
+                f"diam(G ⊔ H) = {union.diameter}, expected "
+                f"max({base.diameter}, {part.diameter}) = {expected}",
+            )
+        )
+    if not union.infinite:
+        found.append(
+            _disagreement(label, "a disjoint union was not flagged infinite")
+        )
+    return found

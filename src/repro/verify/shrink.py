@@ -1,0 +1,195 @@
+"""ddmin failure minimization plus replayable failure artifacts.
+
+When a fuzz trial fails, the triggering graph is usually tens of
+vertices of which only a handful matter. :func:`shrink_failure` runs
+delta debugging (Zeller's ddmin) over the failing graph:
+
+1. **Vertex passes** — try induced subgraphs on complements of
+   ever-finer chunks of the vertex set; any subgraph that still fails
+   becomes the new candidate.
+2. **Edge passes** — with the vertex set minimal, try deleting chunks
+   of the remaining undirected edges (vertex count fixed, so pendant
+   structure can degrade to isolated vertices).
+
+The passes alternate until a fixpoint. The predicate receives a
+candidate :class:`CSRGraph` and returns ``True`` iff the failure still
+reproduces; predicates are expected to be deterministic (the fuzz
+runner builds them from a trial's seeded check) and any exception a
+candidate raises inside the predicate counts as "does not reproduce"
+only if the predicate says so — the shrinker itself never swallows
+predicate errors.
+
+Minimized failures are persisted as a ``.npz`` (the exact CSR arrays,
+via :func:`repro.graph.io.save_npz`) plus a ``.json`` sidecar carrying
+the trial seed, the failing check label, the message, and the replay
+command — everything a developer (or ``repro fuzz --replay``) needs to
+reproduce the failure without re-fuzzing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.build import from_edge_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.io import graph_digest, load_npz, save_npz
+from repro.graph.subgraph import induced_subgraph
+
+__all__ = [
+    "ddmin_edges",
+    "ddmin_vertices",
+    "load_artifact",
+    "shrink_failure",
+    "write_artifact",
+]
+
+Predicate = Callable[[CSRGraph], bool]
+
+
+def _ddmin(items: list, rebuild, predicate: Predicate) -> list:
+    """Generic ddmin over ``items``; ``rebuild(subset)`` -> candidate graph.
+
+    Returns the smallest failing subset found (1-minimal up to the
+    chunk granularity schedule — the classic algorithm, not exhaustive
+    search).
+    """
+    granularity = 2
+    while len(items) >= 2:
+        size = max(1, len(items) // granularity)
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        reduced = False
+        for i, chunk in enumerate(chunks):
+            complement = [x for j, c in enumerate(chunks) if j != i for x in c]
+            if not complement:
+                continue
+            if predicate(rebuild(complement)):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def ddmin_vertices(graph: CSRGraph, predicate: Predicate) -> CSRGraph:
+    """Minimize the vertex set: smallest induced subgraph still failing."""
+    if not predicate(graph):
+        raise ValueError("ddmin_vertices: the failure does not reproduce "
+                         "on the input graph")
+
+    def rebuild(vertices: list) -> CSRGraph:
+        return induced_subgraph(
+            graph, np.asarray(sorted(vertices), dtype=np.int64)
+        ).graph
+
+    kept = _ddmin(list(range(graph.num_vertices)), rebuild, predicate)
+    return rebuild(kept)
+
+
+def ddmin_edges(graph: CSRGraph, predicate: Predicate) -> CSRGraph:
+    """Minimize the edge set at a fixed vertex count."""
+    if not predicate(graph):
+        raise ValueError("ddmin_edges: the failure does not reproduce "
+                         "on the input graph")
+    n = graph.num_vertices
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cols = graph.indices.astype(np.int64)
+    upper = row_of < cols  # one record per undirected edge
+    edges = list(zip(row_of[upper].tolist(), cols[upper].tolist()))
+
+    def rebuild(subset: list) -> CSRGraph:
+        if subset:
+            src = np.asarray([e[0] for e in subset], dtype=np.int64)
+            dst = np.asarray([e[1] for e in subset], dtype=np.int64)
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+        return from_edge_arrays(src, dst, n, graph.name)
+
+    kept = _ddmin(edges, rebuild, predicate)
+    return rebuild(kept)
+
+
+def shrink_failure(
+    graph: CSRGraph, predicate: Predicate, *, max_rounds: int = 4
+) -> CSRGraph:
+    """Alternate vertex and edge ddmin passes until a fixpoint."""
+    current = graph
+    for _ in range(max_rounds):
+        before = (current.num_vertices, current.num_edges)
+        current = ddmin_vertices(current, predicate)
+        current = ddmin_edges(current, predicate)
+        if (current.num_vertices, current.num_edges) == before:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Replayable artifacts
+# ----------------------------------------------------------------------
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text).strip("-") or "failure"
+
+
+def write_artifact(
+    directory: str | Path,
+    graph: CSRGraph,
+    *,
+    seed: int,
+    label: str,
+    message: str,
+    original_vertices: int | None = None,
+) -> Path:
+    """Persist a minimized failure; returns the ``.npz`` path.
+
+    Writes ``fuzz-<label>-<seed>.npz`` (the CSR arrays) and a matching
+    ``.json`` with the metadata needed to replay: the trial seed, the
+    failing check label, the human-readable message, the content
+    digest, and the CLI replay command.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"fuzz-{_slug(label)}-{seed}"
+    npz_path = directory / f"{stem}.npz"
+    save_npz(graph, npz_path)
+    meta = {
+        "seed": int(seed),
+        "label": label,
+        "message": message,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "original_vertices": (
+            int(original_vertices)
+            if original_vertices is not None
+            else int(graph.num_vertices)
+        ),
+        "digest": graph_digest(graph),
+        "replay": f"python -m repro fuzz --replay {npz_path}",
+    }
+    (directory / f"{stem}.json").write_text(json.dumps(meta, indent=2) + "\n")
+    return npz_path
+
+
+def load_artifact(path: str | Path) -> tuple[CSRGraph, dict]:
+    """Load a failure artifact: the graph plus its ``.json`` metadata.
+
+    The metadata sidecar is optional (a bare graph ``.npz`` replays
+    fine); a missing or unparsable sidecar yields an empty dict.
+    """
+    path = Path(path)
+    graph = load_npz(path)
+    meta_path = path.with_suffix(".json")
+    meta: dict = {}
+    if meta_path.exists():
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            meta = {}
+    return graph, meta

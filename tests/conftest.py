@@ -8,11 +8,23 @@ is that the oracle approach does not scale).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import networkx as nx
 import pytest
 
 from repro.graph import CSRGraph, from_edges, from_networkx
+
+
+def _node_seed(nodeid: str) -> int:
+    """A stable 64-bit seed derived from a pytest node id.
+
+    Stable across runs, interpreters, and ``PYTHONHASHSEED`` (unlike
+    ``hash()``), and distinct across tests — so every test gets its own
+    reproducible random stream without hand-picking constants.
+    """
+    return int.from_bytes(hashlib.sha256(nodeid.encode()).digest()[:8], "little")
 
 
 def nx_cc_diameter(G: nx.Graph) -> int:
@@ -63,3 +75,35 @@ def paper_fig2_graph() -> CSRGraph:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def seeded_rng(request) -> np.random.Generator:
+    """A generator seeded from this test's node id (stable, per-test)."""
+    return np.random.default_rng(_node_seed(request.node.nodeid))
+
+
+@pytest.fixture
+def make_rng(request):
+    """Factory for independent reproducible streams within one test:
+    ``make_rng()`` or ``make_rng(salt)`` — same salt, same stream."""
+    base = _node_seed(request.node.nodeid)
+
+    def factory(salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng((base, salt))
+
+    return factory
+
+
+@pytest.fixture
+def build_fuzz(request):
+    """Seed-threaded access to the fuzz graph families: ``build_fuzz(i)``
+    returns the i-th ``(CSRGraph, family)`` sample of a per-test stream."""
+    from repro.generators.registry import build_fuzz_graph
+
+    base = _node_seed(request.node.nodeid) % (2**32)
+
+    def build(i: int = 0, *, max_vertices: int = 64):
+        return build_fuzz_graph(base + i, max_vertices=max_vertices)
+
+    return build

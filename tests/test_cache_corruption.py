@@ -1,0 +1,169 @@
+"""Regression tests: a damaged warm-start cache degrades loudly to cold.
+
+Every corruption mode — a truncated sidecar zip, a digest that no
+longer matches the graph, a wrong schema version, stale landmark rows —
+must produce (a) a warning, (b) a cold run, and (c) answers identical
+to an uncached run. A cache must never be able to change an answer.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cache import WarmStartStore, fdiam_cached
+from repro.cache.store import SCHEMA_VERSION
+from repro.core import FDiamConfig, fdiam
+from repro.generators.registry import build_fuzz_graph
+from repro.graph.io import graph_digest
+from repro.query import QueryEngine
+
+
+@pytest.fixture
+def graph():
+    g, _family = build_fuzz_graph(17, max_vertices=48)
+    return g
+
+
+@pytest.fixture
+def warm_store(tmp_path, graph):
+    """A store already holding a valid sidecar for ``graph``."""
+    store = WarmStartStore(tmp_path / "cache")
+    result, info = fdiam_cached(graph, store=store)
+    assert info.saved and not info.hit
+    return store, result
+
+
+def _expect_cold_with_warning(graph, store, reference):
+    with pytest.warns(UserWarning):
+        result, info = fdiam_cached(graph, store=store)
+    assert not info.hit
+    assert (result.diameter, result.infinite) == (
+        reference.diameter,
+        reference.infinite,
+    )
+
+
+class TestSidecarCorruption:
+    def test_truncated_sidecar_runs_cold(self, graph, warm_store):
+        store, reference = warm_store
+        path = store.path_for(graph_digest(graph))
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        _expect_cold_with_warning(graph, store, reference)
+
+    def test_garbage_sidecar_runs_cold(self, graph, warm_store):
+        store, reference = warm_store
+        path = store.path_for(graph_digest(graph))
+        path.write_bytes(b"not a zip archive at all")
+        _expect_cold_with_warning(graph, store, reference)
+
+    def test_digest_mismatch_runs_cold(self, graph, warm_store):
+        """A sidecar renamed onto another graph's slot must be rejected."""
+        store, reference = warm_store
+        other, _ = build_fuzz_graph(23, max_vertices=48)
+        assert graph_digest(other) != graph_digest(graph)
+        fdiam_cached(other, store=store)
+        # Impersonate: other's sidecar under this graph's filename.
+        store.path_for(graph_digest(other)).replace(
+            store.path_for(graph_digest(graph))
+        )
+        _expect_cold_with_warning(graph, store, reference)
+
+    def test_wrong_schema_version_runs_cold(self, graph, warm_store):
+        store, reference = warm_store
+        art = store.load(graph)
+        assert art is not None
+        payload = art.to_npz_dict()
+        payload["schema"] = np.int64(SCHEMA_VERSION + 1)
+        with open(store.path_for(art.digest), "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        _expect_cold_with_warning(graph, store, reference)
+
+    def test_cold_rerun_heals_the_sidecar(self, graph, warm_store):
+        """After the warning, the cold run rewrites a good sidecar and
+        the next run warm-hits again, silently."""
+        store, reference = warm_store
+        path = store.path_for(graph_digest(graph))
+        path.write_bytes(b"garbage")
+        with pytest.warns(UserWarning):
+            _, info = fdiam_cached(graph, store=store)
+        assert info.saved
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result, info = fdiam_cached(graph, store=store)
+        assert info.hit and info.verified
+        assert result.diameter == reference.diameter
+
+
+class TestStaleLandmarks:
+    def _doctor_landmarks(self, store, graph, sources, dists):
+        art = store.load(graph)
+        assert art is not None
+        art.landmark_sources = np.asarray(sources, dtype=np.int64)
+        art.landmark_dists = np.asarray(dists, dtype=np.int32)
+        art.landmark_eccs = np.zeros(len(sources), dtype=np.int64)
+        store.save(art)
+
+    def _reference_answers(self, graph, queries):
+        engine = QueryEngine()
+        key = engine.add_graph(graph)
+        answers, _ = engine.run(key, queries)
+        return answers
+
+    @pytest.mark.parametrize("case", ["bad-shape", "bad-source"])
+    def test_stale_rows_warn_and_run_cold(self, graph, warm_store, case):
+        store, _ = warm_store
+        n = graph.num_vertices
+        if case == "bad-shape":
+            # Row length disagrees with the vertex count.
+            self._doctor_landmarks(
+                store, graph, [0, 1], np.zeros((2, n - 1), dtype=np.int32)
+            )
+        else:
+            # Source ids point outside the graph.
+            self._doctor_landmarks(
+                store, graph, [0, n + 5], np.zeros((2, n), dtype=np.int32)
+            )
+        queries = ["dist 0 1", f"ecc {n - 1}", "diam"]
+        expected = self._reference_answers(graph, queries)
+
+        engine = QueryEngine(store=store)
+        with pytest.warns(UserWarning, match="stale landmark"):
+            key = engine.add_graph(graph)
+        answers, stats = engine.run(key, queries)
+        assert answers == expected
+        assert stats.memo_hits == 0  # nothing preloaded: ran cold
+
+    def test_good_landmarks_stay_silent(self, graph, warm_store):
+        store, _ = warm_store
+        engine = QueryEngine(store=store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            key = engine.add_graph(graph)
+        queries = ["dist 0 1", "diam"]
+        assert engine.run(key, queries)[0] == self._reference_answers(
+            graph, queries
+        )
+
+
+class TestCacheNeverChangesAnswers:
+    def test_uncached_equals_cached_across_corruptions(self, graph, tmp_path):
+        """Belt and braces: the plain fdiam answer, a cold cached run, a
+        warm cached run, and a post-corruption run all agree."""
+        plain = fdiam(graph, FDiamConfig())
+        store = WarmStartStore(tmp_path / "c2")
+        cold, _ = fdiam_cached(graph, store=store)
+        warm, info = fdiam_cached(graph, store=store)
+        assert info.hit
+        path = store.path_for(graph_digest(graph))
+        payload = path.read_bytes()
+        path.write_bytes(payload[:100])
+        with pytest.warns(UserWarning):
+            damaged, _ = fdiam_cached(graph, store=store)
+        answers = {
+            (r.diameter, r.infinite) for r in (plain, cold, warm, damaged)
+        }
+        assert len(answers) == 1

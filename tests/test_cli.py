@@ -74,3 +74,55 @@ class TestMain:
         bad = tmp_path / "graph.weird"
         bad.write_text("0 1\n")
         assert main([str(bad)]) == 2
+
+
+class TestFuzzCLI:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--budget", "3", "--seed", "5", "--trials", "4",
+            "--max-vertices", "32", "--artifacts", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        assert "families:" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_injected_fault_exits_one_with_artifact(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--budget", "60", "--seed", "1", "--trials", "8",
+            "--max-vertices", "40", "--artifacts", str(tmp_path),
+            "--inject", "eliminate-off-by-one", "--quiet",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        artifacts = sorted(tmp_path.glob("*.npz"))
+        assert artifacts
+
+    def test_replay_roundtrip(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--budget", "60", "--seed", "1", "--trials", "8",
+            "--max-vertices", "40", "--artifacts", str(tmp_path),
+            "--inject", "eliminate-off-by-one", "--quiet",
+        ])
+        assert code == 1
+        capsys.readouterr()
+        artifact = sorted(tmp_path.glob("*.npz"))[0]
+        # Healthy build: the artifact replays clean.
+        assert main(["fuzz", "--replay", str(artifact)]) == 0
+        assert "clean" in capsys.readouterr().out
+        # With the fault active the replay reproduces the failure.
+        assert main([
+            "fuzz", "--replay", str(artifact),
+            "--inject", "eliminate-off-by-one",
+        ]) == 1
+        assert "disagreement" in capsys.readouterr().out
+
+    def test_unknown_fault_rejected(self, capsys):
+        assert main(["fuzz", "--inject", "nope", "--budget", "1"]) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_replay_missing_file(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/x.npz"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,165 @@
+"""Tests for ddmin minimization, failure artifacts, and the fuzz loop.
+
+Ends with the PR's acceptance criterion: a deliberately injected
+off-by-one in Eliminate's radius must be caught by the invariant
+oracle and shrunk to a replayable artifact of at most 12 vertices.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import serial_distances
+from repro.generators.registry import build_fuzz_graph
+from repro.graph import from_edges
+from repro.verify import (
+    ddmin_edges,
+    ddmin_vertices,
+    fuzz,
+    inject_fault,
+    load_artifact,
+    replay,
+    shrink_failure,
+    write_artifact,
+)
+
+
+def has_long_path(graph, length=3):
+    """Predicate: some vertex has eccentricity >= ``length``."""
+    return any(
+        int(serial_distances(graph, v).max()) >= length
+        for v in range(graph.num_vertices)
+    )
+
+
+class TestDdmin:
+    def test_vertices_shrink_to_witness(self):
+        # A long path plus noise; the minimal witness of "eccentricity
+        # >= 3" is a 4-vertex path.
+        edges = [(i, i + 1) for i in range(9)]
+        edges += [(10, 11), (11, 12), (10, 12)]
+        graph = from_edges(edges, name="noisy-path")
+        small = ddmin_vertices(graph, has_long_path)
+        assert small.num_vertices == 4
+        assert has_long_path(small)
+
+    def test_edges_shrink_to_witness(self):
+        edges = [(i, i + 1) for i in range(9)] + [(0, 9)]
+        graph = from_edges(edges, name="cycle10")
+        small = ddmin_edges(graph, has_long_path)
+        assert has_long_path(small)
+        assert small.num_edges == 3  # exactly a 3-edge path
+        assert small.num_vertices == graph.num_vertices  # vertices kept
+
+    def test_shrink_failure_composes(self):
+        edges = [(i, i + 1) for i in range(15)] + [(20, 21), (21, 22)]
+        graph = from_edges(edges, num_vertices=30, name="padded")
+        small = shrink_failure(graph, has_long_path)
+        assert has_long_path(small)
+        assert small.num_vertices == 4
+        assert small.num_edges == 3
+
+    def test_non_reproducing_input_rejected(self):
+        graph = from_edges([(0, 1)], name="edge")
+        with pytest.raises(ValueError):
+            ddmin_vertices(graph, has_long_path)
+        with pytest.raises(ValueError):
+            ddmin_edges(graph, has_long_path)
+
+
+class TestArtifacts:
+    def test_roundtrip(self, tmp_path):
+        graph, _ = build_fuzz_graph(5, max_vertices=32)
+        path = write_artifact(
+            tmp_path,
+            graph,
+            seed=5,
+            label="fdiam/par",
+            message="diameter 3 != reference 4",
+            original_vertices=64,
+        )
+        assert path.exists()
+        loaded, meta = load_artifact(path)
+        assert loaded.num_vertices == graph.num_vertices
+        np.testing.assert_array_equal(loaded.indptr, graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, graph.indices)
+        assert meta["seed"] == 5
+        assert meta["label"] == "fdiam/par"
+        assert meta["original_vertices"] == 64
+        assert "fuzz --replay" in meta["replay"]
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["digest"] == meta["digest"]
+
+    def test_label_slugging(self, tmp_path):
+        graph, _ = build_fuzz_graph(1, max_vertices=16)
+        path = write_artifact(
+            tmp_path, graph, seed=1, label="query/dist 0 3", message="m"
+        )
+        assert "/" not in path.name.replace("fuzz-", "", 1)
+        assert path.exists()
+
+    def test_missing_sidecar_is_fine(self, tmp_path):
+        graph, _ = build_fuzz_graph(2, max_vertices=16)
+        path = write_artifact(tmp_path, graph, seed=2, label="x", message="m")
+        path.with_suffix(".json").unlink()
+        loaded, meta = load_artifact(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert meta == {}
+
+
+class TestFuzzLoop:
+    def test_clean_campaign(self, tmp_path):
+        result = fuzz(
+            seed=3,
+            budget=6.0,
+            max_trials=12,
+            max_vertices=40,
+            artifact_dir=tmp_path,
+        )
+        assert result.ok
+        assert result.trials > 0
+        assert sum(result.families.values()) == result.trials
+        assert list(tmp_path.iterdir()) == []  # no artifacts when clean
+
+    def test_budget_respected(self):
+        result = fuzz(seed=0, budget=2.0, max_vertices=32)
+        assert result.elapsed < 10.0
+
+    def test_replay_clean_artifact(self, tmp_path):
+        graph, _ = build_fuzz_graph(9, max_vertices=24)
+        path = write_artifact(tmp_path, graph, seed=9, label="x", message="m")
+        assert replay(path) == []
+
+
+class TestAcceptanceCriterion:
+    """The ISSUE.md gate: an injected Eliminate off-by-one is caught by
+    the oracle and shrunk to a <= 12-vertex replayable artifact."""
+
+    def test_eliminate_off_by_one_caught_and_shrunk(self, tmp_path):
+        with inject_fault("eliminate-off-by-one"):
+            result = fuzz(
+                seed=0,
+                budget=90.0,
+                max_trials=25,
+                max_vertices=48,
+                artifact_dir=tmp_path,
+                max_failures=1,
+            )
+        assert result.failures, "fault was never caught"
+        failure = result.failures[0]
+        assert any(
+            "InvariantViolation" in d.message for d in failure.disagreements
+        )
+        assert failure.shrunk_vertices <= 12, (
+            f"shrunk to {failure.shrunk_vertices} vertices, wanted <= 12"
+        )
+        assert failure.artifact is not None and failure.artifact.exists()
+
+        # Replayable: with the fault the artifact still fails...
+        with inject_fault("eliminate-off-by-one"):
+            assert replay(failure.artifact) != []
+        # ...and on the healthy build it is clean.
+        assert replay(failure.artifact) == []
