@@ -46,6 +46,7 @@ from repro.core.extremes import eccentricity_spectrum  # noqa: E402
 from repro.core.fdiam import fdiam  # noqa: E402
 from repro.bfs.kernel import TraversalKernel  # noqa: E402
 from repro.harness.workloads import get_workload  # noqa: E402
+from repro.parallel.scaling import ScalingStudy  # noqa: E402
 from repro.query import QueryEngine  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -115,6 +116,7 @@ def _stage_fdiam_lanes64(graph, repeats):
         "bfs_count": res.stats.bfs_traversals,
         "edges_examined": res.stats.edges_examined,
         "lane_fallbacks": res.stats.lane_fallbacks,
+        "lane_fallback_reasons": list(res.stats.lane_fallback_reasons),
         "diameter": res.diameter,
     }
 
@@ -213,6 +215,33 @@ def _stage_query_batch(graph, repeats):
     }
 
 
+def _stage_scaling_curve(graph, repeats):
+    """Measured workers × wall_s curve of the shared-memory sweep backend.
+
+    A fixed 64-source hub battery is timed at 1, 2, and 4 workers
+    through :meth:`ScalingStudy.measure_sweep` (worker count 1 is the
+    in-process bitparallel backend, higher counts the multiprocess
+    backend over shared CSR segments). The eccentricity checksum is
+    identical across worker counts by construction — measure_sweep
+    raises otherwise — and is compared exactly against the baseline.
+    Wall times sit next to the modeled Figure-7 curve; on a single-core
+    runner the measured speedups are flat-to-negative, which is the
+    honest reading the stage exists to record.
+    """
+    study = ScalingStudy()
+    points = study.measure_sweep(graph, workers=(1, 2, 4), num_sources=64)
+    out = {
+        "sources": points[0].sources,
+        "ecc_checksum": points[0].ecc_checksum,
+    }
+    for p in points:
+        out[f"workers_{p.workers}_wall_s"] = round(p.wall_s, 6)
+        out[f"workers_{p.workers}_backend"] = p.backend
+        if p.workers > 1:
+            out[f"speedup_{p.workers}"] = round(p.speedup, 3)
+    return out
+
+
 def _stage_sumsweep(graph, repeats, lanes):
     wall, res = _timed(
         lambda: sumsweep_diameter(graph, batch_lanes=lanes), repeats
@@ -236,6 +265,7 @@ STAGES = {
     "spectrum_lanes64": (lambda g, r: _stage_spectrum(g, r, 64), True),
     "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
     "sumsweep_lanes64": (lambda g, r: _stage_sumsweep(g, r, 64), True),
+    "scaling_curve": (_stage_scaling_curve, True),
 }
 
 
@@ -312,7 +342,7 @@ def compare(baseline: dict, current: dict, *, strict_time: bool = False):
         base = baseline.get("stages", {}).get(key)
         if base is None:
             continue
-        for field in ("diameter", "eccentricity"):
+        for field in ("diameter", "eccentricity", "ecc_checksum"):
             if field in base and field in cur and base[field] != cur[field]:
                 regressions.append(
                     f"{key}: {field} changed {base[field]} -> {cur[field]} "
@@ -372,6 +402,49 @@ def warm_check(graphs=SMOKE_GRAPHS) -> int:
     return 1 if failures else 0
 
 
+def scaling_check(graphs=SMOKE_GRAPHS) -> int:
+    """CI gate for the multiprocess sweep backend (``--scaling-check``).
+
+    Runs the measured workers × wall_s battery on each graph and fails
+    unless every worker count produced the identical eccentricity
+    checksum (measure_sweep raises on divergence) and the multi-worker
+    points actually ran on the shared-memory multiprocess backend.
+    Wall-clock speedup is deliberately *not* gated — on the single-core
+    CI runner the curve is flat by physics, and pretending otherwise
+    would gate on noise.
+    """
+    from repro.errors import AlgorithmError
+
+    failures = 0
+    for name in graphs:
+        graph = get_workload(name).graph
+        study = ScalingStudy()
+        try:
+            points = study.measure_sweep(graph, workers=(1, 2, 4))
+        except AlgorithmError as exc:
+            print(f"SCALING-CHECK FAIL: {name}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        curve = ", ".join(
+            f"{p.workers}w {p.wall_s * 1e3:.1f}ms ({p.backend}, "
+            f"{p.speedup:.2f}x)"
+            for p in points
+        )
+        line = f"{name}: checksum {points[0].ecc_checksum}, {curve}"
+        wrong = [p for p in points if p.workers > 1 and p.backend != "multiprocess"]
+        if wrong:
+            print(
+                f"SCALING-CHECK FAIL: {line} — worker counts "
+                f"{[p.workers for p in wrong]} fell back off the "
+                "multiprocess backend",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"scaling-check OK: {line}")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -407,10 +480,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="cold-then-warm fdiam assertion only (no snapshot written)",
     )
+    parser.add_argument(
+        "--scaling-check",
+        action="store_true",
+        help="measured multiprocess scaling-curve assertion only "
+        "(checksum identical across worker counts; no snapshot written)",
+    )
     args = parser.parse_args(argv)
 
     if args.warm_check:
         return warm_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
+    if args.scaling_check:
+        return scaling_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
 
     date = args.date or _dt.date.today().isoformat()
     print(f"benchmark regression suite ({'smoke' if args.smoke else 'full'}) ...")

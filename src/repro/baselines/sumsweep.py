@@ -81,6 +81,7 @@ def _component_diameter(
         refine(int(ids[int(np.argmax(dist_sum[ids]))]))
 
     # --- Bounding phase ------------------------------------------------
+    batch = ctx.sweep_batch
     while True:
         unresolved = in_comp & (ecc_ub > diam_lb) & (ecc_lb != ecc_ub)
         settled = in_comp & (ecc_lb == ecc_ub)
@@ -91,12 +92,12 @@ def _component_diameter(
             return diam_lb
         ctx.check_deadline()
         ids = np.flatnonzero(unresolved)
-        if ctx.batch_lanes > 0:
+        if batch > 0:
             # Batched round: the top candidates in the scalar loop's own
             # order (upper bound descending, distance sum descending),
-            # all evaluated in one shared-gather sweep.
+            # all evaluated in one executor round.
             order = np.lexsort((-dist_sum[ids], -ecc_ub[ids]))
-            picks = ids[order][: ctx.batch_lanes]
+            picks = ids[order][:batch]
             dist, sweep = ctx.run_batch(picks)
             for j, v in enumerate(picks):
                 ecc_v = int(sweep.eccentricities[j])
@@ -123,6 +124,7 @@ def sumsweep_diameter(
     num_sweeps: int = DEFAULT_SWEEPS,
     deadline: float | None = None,
     batch_lanes: int = 0,
+    workers: int = 1,
 ) -> BaselineResult:
     """Exact diameter via the (undirected, simplified) ExactSumSweep.
 
@@ -130,10 +132,17 @@ def sumsweep_diameter(
     choice depends on the previous sweeps' distance sums) but runs the
     bounding phase in bit-parallel rounds of up to that many vertices —
     exact distances for all of them from one shared-gather sweep.
+    ``workers > 1`` additionally spreads each bounding round over a
+    shared-memory worker pool (see :mod:`repro.parallel.sweep`); every
+    update is the same sound bound refinement, so the diameter is exact
+    on any backend.
     """
-    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes)
-    groups, connected = component_representatives(graph)
-    best = 0
-    for vertices in groups:
-        best = max(best, _component_diameter(ctx, vertices, num_sweeps))
-    return ctx.result("SumSweep", best, connected)
+    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes, workers=workers)
+    try:
+        groups, connected = component_representatives(graph)
+        best = 0
+        for vertices in groups:
+            best = max(best, _component_diameter(ctx, vertices, num_sweeps))
+        return ctx.result("SumSweep", best, connected)
+    finally:
+        ctx.close()

@@ -78,6 +78,7 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
 
     diam_lb = 0
     pick_high = True  # alternate: largest ub / smallest lb
+    batch = ctx.sweep_batch
     while True:
         unresolved = in_comp & (ecc_ub > diam_lb) & (ecc_lb != ecc_ub)
         # A vertex with matched bounds still contributes its exact value.
@@ -89,8 +90,8 @@ def _component_diameter(ctx: BaselineContext, vertices: np.ndarray) -> int:
             return diam_lb
         ctx.check_deadline()
         cand = np.flatnonzero(unresolved)
-        if ctx.batch_lanes > 0:
-            picks = _interleave_extremes(cand, ecc_lb, ecc_ub, ctx.batch_lanes)
+        if batch > 0:
+            picks = _interleave_extremes(cand, ecc_lb, ecc_ub, batch)
             dist, sweep = ctx.run_batch(picks)
             for j, v in enumerate(picks):
                 ecc_v = int(sweep.eccentricities[j])
@@ -117,18 +118,24 @@ def bounding_diameters(
     engine: Engine = "parallel",
     deadline: float | None = None,
     batch_lanes: int = 0,
+    workers: int = 1,
 ) -> BaselineResult:
     """Exact diameter via Takes–Kosters BoundingDiameters.
 
     ``batch_lanes > 0`` evaluates up to that many selected vertices per
     bit-parallel sweep (shared edge gathers, see
     :mod:`repro.bfs.bitparallel`) and refines the bounds from all of
-    their exact distance rows; every update is the same sound triangle
-    inequality, so the diameter is exact either way.
+    their exact distance rows; ``workers > 1`` spreads each round over
+    a shared-memory worker pool (:mod:`repro.parallel.sweep`). Every
+    update is the same sound triangle inequality, so the diameter is
+    exact on any backend.
     """
-    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes)
-    groups, connected = component_representatives(graph)
-    best = 0
-    for vertices in groups:
-        best = max(best, _component_diameter(ctx, vertices))
-    return ctx.result("BoundingDiameters", best, connected)
+    ctx = BaselineContext(graph, engine, deadline, batch_lanes=batch_lanes, workers=workers)
+    try:
+        groups, connected = component_representatives(graph)
+        best = 0
+        for vertices in groups:
+            best = max(best, _component_diameter(ctx, vertices))
+        return ctx.result("BoundingDiameters", best, connected)
+    finally:
+        ctx.close()

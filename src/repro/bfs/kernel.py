@@ -125,6 +125,13 @@ class WorkspaceStats:
     ``--workspace-stats`` report adds to the graph's own footprint.
     ``edges_examined`` totals the arcs gathered by every traversal that
     ran on the workspace (top-down, bottom-up, and lane sweeps alike).
+
+    The multiprocess sweep backend charges its shared-memory segments
+    here too: ``shm_segments`` counts every segment created on behalf
+    of this workspace's kernel (the shared CSR plus one output block
+    per round), ``shm_resident`` is what is mapped right now, and
+    ``shm_bytes`` is the high-water mark — the shm analog of
+    ``peak_scratch_bytes``.
     """
 
     buffer_requests: int = 0
@@ -137,6 +144,9 @@ class WorkspaceStats:
     owned_bytes: int = 0
     epochs: int = 0
     edges_examined: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    shm_resident: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -888,6 +898,35 @@ class TraversalKernel:
                     if on_discover is not None:
                         on_discover(step + 1, frontier)
         return discovered
+
+    def sweep_executor(
+        self,
+        *,
+        workers: int = 1,
+        batch_lanes: int = 64,
+        backend: str = "auto",
+        start_method: str | None = None,
+    ):
+        """A :class:`~repro.parallel.sweep.SweepExecutor` bound to this kernel.
+
+        The preferred way for callers that already hold a kernel
+        (spectrum, baselines, query engine) to obtain a dispatcher:
+        the executor shares this kernel's workspace — so serial and
+        bitparallel rounds keep the pooled buffers and the edge
+        accounting, and multiprocess rounds charge their shm segments
+        to :class:`WorkspaceStats`. Call-time import: the sweep layer
+        sits above the kernel.
+        """
+        from repro.parallel.sweep import create_executor
+
+        return create_executor(
+            self.graph,
+            workers=workers,
+            batch_lanes=batch_lanes,
+            backend=backend,
+            kernel=self,
+            start_method=start_method,
+        )
 
     # ------------------------------------------------------------------
     # Derived conveniences

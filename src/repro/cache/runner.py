@@ -243,6 +243,7 @@ def spectrum_cached(
     batch_lanes: int = 0,
     auto_fallback: bool = True,
     save: bool = True,
+    workers: int = 1,
 ) -> tuple[EccentricitySpectrum, CacheInfo]:
     """Exact eccentricity spectrum through the warm-start store.
 
@@ -263,6 +264,7 @@ def spectrum_cached(
         batch_lanes=batch_lanes,
         auto_fallback=auto_fallback,
         warm=art,
+        workers=workers,
     )
     path = store.path_for(digest) if hit else None
     saved = False

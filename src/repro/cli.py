@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         "shared-gather sweep (0 = scalar path; 64 fills one lane word)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes for batched source fan-outs (--spectrum): "
+        "W >= 2 sweeps through the shared-memory multiprocess backend "
+        "when the cost model predicts a payoff (default 1, in-process)",
+    )
+    parser.add_argument(
         "--prep",
         default="off",
         metavar="SPEC",
@@ -164,6 +173,15 @@ def build_query_parser() -> argparse.ArgumentParser:
         help="maximum sources per physical sweep chunk (default 256)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes for the sweep dispatch: W >= 2 runs fresh "
+        "source batches through the shared-memory multiprocess backend "
+        "when the cost model predicts a payoff (default 1, in-process)",
+    )
+    parser.add_argument(
         "--mmap",
         action="store_true",
         help="memory-map .npz graph files (uncompressed archives only)",
@@ -240,6 +258,15 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "self-test); see repro.verify.faults",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes for the campaign: W >= 2 fans rounds of "
+        "independent trials out over a process pool; the trial-seed "
+        "sequence matches the serial campaign (default 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-trial progress"
     )
     return parser
@@ -248,6 +275,9 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
 def fuzz_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``fuzz`` subcommand; returns the exit code."""
     args = build_fuzz_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     from contextlib import nullcontext
 
     from repro.verify import available_faults, fuzz, inject_fault, replay
@@ -285,6 +315,7 @@ def fuzz_main(argv: list[str] | None = None) -> int:
             max_vertices=args.max_vertices,
             artifact_dir=args.artifacts,
             shrink=not args.no_shrink,
+            workers=args.workers,
             progress=progress,
         )
     families = ", ".join(
@@ -304,6 +335,9 @@ def fuzz_main(argv: list[str] | None = None) -> int:
 def query_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``query`` subcommand; returns the exit code."""
     args = build_query_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     # Call-time import: the query/cache layers sit above the CLI's other
     # dependencies and are only paid for when the subcommand runs.
     from repro.query import QueryEngine
@@ -325,8 +359,11 @@ def query_main(argv: list[str] | None = None) -> int:
         from repro.cache import WarmStartStore
 
         store = WarmStartStore(args.cache)
+    engine = None
     try:
-        engine = QueryEngine(store=store, batch_lanes=args.batch_lanes)
+        engine = QueryEngine(
+            store=store, batch_lanes=args.batch_lanes, workers=args.workers
+        )
         key = engine.add_graph(graph)
         start = time.perf_counter()
         answers, stats = engine.run(key, queries)
@@ -335,6 +372,9 @@ def query_main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if engine is not None:
+            engine.close()
     for query, answer in zip(queries, answers):
         text = query if isinstance(query, str) else " ".join(map(str, query))
         print(f"{text} = {answer}")
@@ -364,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.bfs_batch_lanes < 0:
         print("error: --bfs-batch-lanes must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     try:
         graph = read_graph(args.graph, mmap=args.mmap)
@@ -483,6 +526,15 @@ def main(argv: list[str] | None = None) -> int:
                       f"requests ({100 * ws.lane_hit_rate:.1f}% hit rate), "
                       f"{ws.lane_words_allocated:,} words allocated "
                       f"({format_bytes(8 * ws.lane_words_allocated)})")
+            if ws.shm_segments:
+                print(f"shm segments   : {ws.shm_segments} created "
+                      f"(peak {format_bytes(ws.shm_bytes)}, "
+                      f"{format_bytes(ws.shm_resident)} still attached)")
+        reasons = result.stats.lane_fallback_reasons
+        if reasons:
+            print(f"lane fallbacks : {len(reasons)}")
+            for reason in reasons:
+                print(f"  - {reason}")
 
     if args.spectrum:
         if store is not None:
@@ -493,10 +545,14 @@ def main(argv: list[str] | None = None) -> int:
                 store=store,
                 engine=args.engine,
                 batch_lanes=args.bfs_batch_lanes,
+                workers=args.workers,
             )
         else:
             spec = eccentricity_spectrum(
-                graph, engine=args.engine, batch_lanes=args.bfs_batch_lanes
+                graph,
+                engine=args.engine,
+                batch_lanes=args.bfs_batch_lanes,
+                workers=args.workers,
             )
         print(f"\nradius    : {spec.radius} (largest component)")
         print(f"center    : {len(spec.center)} vertices "
@@ -506,9 +562,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"spectrum BFS traversals: {spec.bfs_traversals} "
               f"in {spec.sweeps} sweeps", end="")
         if spec.lane_fallback:
-            print(" (lane batch dropped to scalar by the cost model)")
-        elif args.bfs_batch_lanes > 0:
-            print(f" (lane occupancy {100 * spec.lane_occupancy:.0f}%)")
+            why = f": {spec.lane_fallback_reason}" if spec.lane_fallback_reason else ""
+            print(f" (lane batch dropped to scalar by the cost model{why})")
+        elif args.bfs_batch_lanes > 0 or args.workers > 1:
+            backend = f"{spec.backend} backend, {spec.workers} worker(s), "
+            print(f" ({backend}lane occupancy {100 * spec.lane_occupancy:.0f}%)")
         else:
             print()
     return 0

@@ -30,7 +30,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bfs.bitparallel import lane_distances
 from repro.bfs.eccentricity import Engine
 from repro.bfs.kernel import TraversalKernel
 from repro.core.state import MAX_BOUND
@@ -72,6 +71,14 @@ class EccentricitySpectrum:
     #: Whether a requested lane batch was dropped back to the scalar
     #: path because the cost model advised against it (``auto_fallback``).
     lane_fallback: bool = False
+    #: The cost model's verdict when ``lane_fallback`` is set, else "".
+    lane_fallback_reason: str = ""
+    #: Sweep backend the refinement rounds ran on: "scalar" for the
+    #: one-vertex-at-a-time loop, else the executor's backend name
+    #: ("bitparallel" / "multiprocess").
+    backend: str = "scalar"
+    #: Worker processes the rounds were spread over (1 = in-process).
+    workers: int = 1
 
 
 def _refine_bounds(
@@ -203,6 +210,7 @@ def eccentricity_spectrum(
     engine: Engine = "parallel",
     batch_lanes: int = 0,
     auto_fallback: bool = True,
+    workers: int = 1,
     warm=None,
 ) -> EccentricitySpectrum:
     """Compute every vertex's exact eccentricity with bound pruning.
@@ -231,6 +239,13 @@ def eccentricity_spectrum(
     ``lane_fallback`` is set on the result. Pass ``False`` to force the
     lanes for A/B measurements.
 
+    ``workers > 1`` spreads each refinement round over a persistent
+    shared-memory worker pool (the ``multiprocess``
+    :class:`~repro.parallel.sweep.SweepExecutor` backend) when the cost
+    model expects the round to be worth leaving the process; the bound
+    refinement is identical either way, so the eccentricities are exact
+    regardless of backend or worker count.
+
     ``warm`` seeds the bounds from cached artifacts of a previous run on
     the byte-identical graph (:class:`repro.cache.WarmArtifacts`): after
     one fresh BFS verifies the first cached landmark row, the remaining
@@ -242,7 +257,10 @@ def eccentricity_spectrum(
     n = graph.num_vertices
     if n == 0:
         raise AlgorithmError("eccentricity_spectrum on an empty graph")
+    if workers < 1:
+        raise AlgorithmError(f"workers must be >= 1, got {workers}")
     fell_back = False
+    fallback_reason = ""
     if batch_lanes > 0 and auto_fallback:
         # Call-time import: repro.parallel's package init pulls the
         # scaling study, which imports the core layer.
@@ -252,11 +270,34 @@ def eccentricity_spectrum(
         estimate = model.estimate_diameter(
             n, graph.num_directed_edges, graph.max_degree()
         )
-        if not model.lane_batch_advisable(estimate, batch_lanes, merged=False):
+        ok, reason = model.lane_batch_verdict(estimate, batch_lanes, merged=False)
+        if not ok:
             batch_lanes = 0
             fell_back = True
-    count_edges = engine == "parallel" or batch_lanes > 0
+            fallback_reason = reason
+    count_edges = engine == "parallel" or batch_lanes > 0 or workers > 1
     kernel = TraversalKernel(graph, engine=engine)
+
+    # Route the refinement rounds through the sweep dispatch layer when
+    # the caller asked for lanes or a worker team. A single-worker lane
+    # request pins the bitparallel backend (the historical behaviour);
+    # a team goes through "auto", and if the cost model still resolves
+    # to the serial backend the rounds are cheaper in the scalar
+    # alternating loop below, so the executor is dropped.
+    executor = None
+    if workers > 1:
+        executor = kernel.sweep_executor(
+            workers=workers,
+            batch_lanes=batch_lanes if batch_lanes > 0 else 64,
+            backend="auto",
+        )
+        if executor.backend == "serial":
+            executor.close()
+            executor = None
+    elif batch_lanes > 0:
+        executor = kernel.sweep_executor(
+            workers=1, batch_lanes=batch_lanes, backend="bitparallel"
+        )
 
     cc = connected_components(graph)
     ecc_lb = np.zeros(n, dtype=np.int64)
@@ -279,51 +320,50 @@ def eccentricity_spectrum(
         # those stay open (lb != ub) and are resolved by an exact BFS
         # like any other open vertex, so nothing is clamped here.
 
-    for comp in range(cc.num_components):
-        vertices = cc.vertices_of(comp)
-        if len(vertices) < 2:
-            continue
-        in_comp = np.zeros(n, dtype=bool)
-        in_comp[vertices] = True
-        pick_high = True
-        while True:
-            open_mask = in_comp & (ecc_lb != ecc_ub)
-            if not open_mask.any():
-                break
-            cand = np.flatnonzero(open_mask)
-            if batch_lanes > 0:
-                picks = _pick_batch(cand, ecc_lb, ecc_ub, batch_lanes)
-                dist, sweep = lane_distances(
-                    graph,
-                    picks,
-                    pool=kernel.workspace,
-                    check=kernel.check_deadline,
-                )
-                for j, v in enumerate(picks):
-                    _refine_bounds(
-                        ecc_lb, ecc_ub, int(v), int(sweep.eccentricities[j]), dist[j]
-                    )
-                traversals += len(picks)
-                sweeps += 1
-                edges += sweep.edges_examined
-                occupancy_sum += sweep.lane_occupancy
+    try:
+        for comp in range(cc.num_components):
+            vertices = cc.vertices_of(comp)
+            if len(vertices) < 2:
                 continue
-            if pick_high:
-                v = int(cand[int(np.argmax(ecc_ub[cand]))])
-            else:
-                v = int(cand[int(np.argmin(ecc_lb[cand]))])
-            pick_high = not pick_high
-            res = kernel.bfs(v, record_dist=True, record_trace=count_edges)
-            traversals += 1
-            sweeps += 1
-            occupancy_sum += 1.0
-            if res.trace is not None:
-                edges += res.trace.total_edges_examined
-            dist = res.dist
-            _refine_bounds(ecc_lb, ecc_ub, v, res.eccentricity, dist)
-            # The distances were folded into the bounds; recycle the
-            # buffer so every refinement after the first reuses it.
-            kernel.workspace.release_dist(dist)
+            in_comp = np.zeros(n, dtype=bool)
+            in_comp[vertices] = True
+            pick_high = True
+            while True:
+                open_mask = in_comp & (ecc_lb != ecc_ub)
+                if not open_mask.any():
+                    break
+                cand = np.flatnonzero(open_mask)
+                if executor is not None:
+                    picks = _pick_batch(cand, ecc_lb, ecc_ub, executor.round_size)
+                    dist, info = executor.distance_rows(picks)
+                    for j, v in enumerate(picks):
+                        _refine_bounds(
+                            ecc_lb, ecc_ub, int(v), int(info.eccentricities[j]), dist[j]
+                        )
+                    traversals += info.traversals
+                    sweeps += info.sweeps
+                    edges += info.edges_examined
+                    occupancy_sum += info.lane_occupancy * info.sweeps
+                    continue
+                if pick_high:
+                    v = int(cand[int(np.argmax(ecc_ub[cand]))])
+                else:
+                    v = int(cand[int(np.argmin(ecc_lb[cand]))])
+                pick_high = not pick_high
+                res = kernel.bfs(v, record_dist=True, record_trace=count_edges)
+                traversals += 1
+                sweeps += 1
+                occupancy_sum += 1.0
+                if res.trace is not None:
+                    edges += res.trace.total_edges_examined
+                dist = res.dist
+                _refine_bounds(ecc_lb, ecc_ub, v, res.eccentricity, dist)
+                # The distances were folded into the bounds; recycle the
+                # buffer so every refinement after the first reuses it.
+                kernel.workspace.release_dist(dist)
+    finally:
+        if executor is not None:
+            executor.close()
 
     ecc = ecc_lb  # bounds have met everywhere
     diameter = int(ecc.max()) if n else 0
@@ -355,6 +395,9 @@ def eccentricity_spectrum(
         sweeps=sweeps,
         lane_occupancy=occupancy_sum / sweeps if sweeps else 0.0,
         lane_fallback=fell_back,
+        lane_fallback_reason=fallback_reason,
+        backend=executor.backend if executor is not None else "scalar",
+        workers=executor.workers if executor is not None else 1,
     )
 
 

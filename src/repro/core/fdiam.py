@@ -220,11 +220,13 @@ def fdiam_with_state(
         from repro.parallel.costmodel import LevelSynchronousCostModel
 
         model = LevelSynchronousCostModel()
-        if not model.lane_batch_advisable(
+        ok, reason = model.lane_batch_verdict(
             state.bound, config.bfs_batch_lanes, merged=True
-        ):
+        )
+        if not ok:
             state.kernel.batch_lanes = 0
             stats.lane_fallbacks += 1
+            stats.lane_fallback_reasons.append(reason)
 
     # ------------------------------------------------------------------
     # Bulk pruning (Algorithm 1 lines 4-5). A *verified* warm start

@@ -144,6 +144,11 @@ class FDiamStats:
     #: Times the kernel dropped a requested lane batch back to the
     #: scalar path because the cost model advised against it.
     lane_fallbacks: int = 0
+    #: The cost model's verdict for each recorded fallback (same order;
+    #: see :meth:`LevelSynchronousCostModel.lane_batch_verdict`). What
+    #: ``--workspace-stats`` and the bench JSON surface instead of the
+    #: bare count.
+    lane_fallback_reasons: list[str] = field(default_factory=list)
 
     # Bound evolution.
     initial_bound: int = 0
@@ -219,6 +224,7 @@ class FDiamStats:
         self.winnow_calls += other.winnow_calls
         self.eliminate_calls += other.eliminate_calls
         self.lane_fallbacks += other.lane_fallbacks
+        self.lane_fallback_reasons.extend(other.lane_fallback_reasons)
         self.bound_updates += other.bound_updates
         self.removed_by += other.removed_by
         for stage in StageTimes._STAGES:
@@ -244,6 +250,9 @@ class FDiamStats:
             mine.epochs += theirs.epochs
             mine.edges_examined += theirs.edges_examined
             mine.owned_bytes = max(mine.owned_bytes, theirs.owned_bytes)
+            mine.shm_segments += theirs.shm_segments
+            mine.shm_bytes = max(mine.shm_bytes, theirs.shm_bytes)
+            mine.shm_resident += theirs.shm_resident
 
     @contextmanager
     def timing(self, stage: str):

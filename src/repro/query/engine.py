@@ -79,16 +79,23 @@ class BatchStats:
 class _GraphEntry:
     """One registered graph: kernel, memoized rows, cached diameter."""
 
-    __slots__ = ("graph", "kernel", "memo", "diameter", "digest", "dirty")
+    __slots__ = ("graph", "kernel", "executor", "memo", "diameter", "digest", "dirty")
 
     def __init__(self, graph: CSRGraph):
         self.graph = graph
         self.kernel = TraversalKernel(graph)
+        #: Lazily built sweep executor (see QueryEngine._executor_for).
+        self.executor = None
         #: source vertex -> int32 distance row, LRU-ordered.
         self.memo: OrderedDict[int, np.ndarray] = OrderedDict()
         self.diameter: int | None = None
         self.digest: str | None = None
         self.dirty = False  # memo rows not yet flushed to the store
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
 
 
 @dataclass
@@ -111,12 +118,18 @@ class QueryEngine:
         (:meth:`TraversalKernel.distance_batch`).
     memo_vectors:
         Per-graph cap on memoized distance rows (LRU evicted).
+    workers:
+        Worker processes for the per-graph sweep executor. ``1`` (the
+        default) keeps every sweep in-process on the bitparallel
+        backend; ``> 1`` lets the cost model dispatch batches to a
+        shared-memory pool per registered graph.
     """
 
     store: object | None = None
     max_graphs: int = 4
     batch_lanes: int = 256
     memo_vectors: int = 64
+    workers: int = 1
     _graphs: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     def __post_init__(self):
@@ -126,6 +139,8 @@ class QueryEngine:
             raise AlgorithmError("batch_lanes must be >= 1")
         if self.memo_vectors < 0:
             raise AlgorithmError("memo_vectors must be >= 0")
+        if self.workers < 1:
+            raise AlgorithmError("workers must be >= 1")
 
     # ------------------------------------------------------------------
     # Registry
@@ -161,10 +176,14 @@ class QueryEngine:
                         stacklevel=2,
                     )
                 entry.dirty = False  # preloaded rows are already on disk
+        old = self._graphs.get(key)
+        if old is not None:
+            old.close()
         self._graphs[key] = entry
         self._graphs.move_to_end(key)
         while len(self._graphs) > self.max_graphs:
-            self._graphs.popitem(last=False)
+            _, evicted = self._graphs.popitem(last=False)
+            evicted.close()
         return key
 
     def _entry(self, key: str) -> _GraphEntry:
@@ -172,6 +191,26 @@ class QueryEngine:
             raise AlgorithmError(f"unknown graph {key!r}; add_graph() it first")
         self._graphs.move_to_end(key)
         return self._graphs[key]
+
+    def _executor_for(self, entry: _GraphEntry):
+        """The entry's sweep executor, built on first use.
+
+        Single-worker engines pin the ``bitparallel`` backend, which
+        reproduces the pre-executor chunked lane sweeps exactly; with a
+        worker team the cost model dispatches per the graph structure.
+        """
+        if entry.executor is None:
+            entry.executor = entry.kernel.sweep_executor(
+                workers=self.workers,
+                batch_lanes=self.batch_lanes,
+                backend="bitparallel" if self.workers <= 1 else "auto",
+            )
+        return entry.executor
+
+    def close(self) -> None:
+        """Shut down every registered graph's executor (pools, shm)."""
+        for entry in self._graphs.values():
+            entry.close()
 
     def _memoize(self, entry: _GraphEntry, source: int, row: np.ndarray) -> None:
         if self.memo_vectors == 0:
@@ -226,17 +265,11 @@ class QueryEngine:
                 sources.append(v)
 
         if sources:
-            dist, sweeps = entry.kernel.distance_batch(
-                sources, max_lanes=self.batch_lanes
-            )
+            dist, info = self._executor_for(entry).distance_rows(sources)
             stats.bfs_sources = len(sources)
-            stats.sweeps += len(sweeps)
-            stats.edges_examined += sum(s.edges_examined for s in sweeps)
-            stats.lane_occupancy = (
-                sum(s.lane_occupancy for s in sweeps) / len(sweeps)
-                if sweeps
-                else 0.0
-            )
+            stats.sweeps += info.sweeps
+            stats.edges_examined += info.edges_examined
+            stats.lane_occupancy = info.lane_occupancy
             for j, s in enumerate(sources):
                 self._memoize(entry, s, dist[j])
                 if self.memo_vectors > 0:

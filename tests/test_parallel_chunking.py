@@ -45,7 +45,23 @@ class TestAssignRoundRobin:
             assign_round_robin(4, num_threads=0)
 
 
+class TestChunksOf:
+    def test_thread_without_chunks_is_empty(self):
+        a = assign_round_robin(4, num_threads=8, chunk_size=4)
+        assert a.chunks_of(5).tolist() == []
+
+    def test_empty_worklist_has_no_chunks(self):
+        a = assign_round_robin(0, num_threads=3, chunk_size=2)
+        assert a.num_chunks == 0
+        assert a.owner.tolist() == []
+
+
 class TestThreadWork:
+    def test_empty_worklist(self):
+        a = assign_round_robin(0, num_threads=3, chunk_size=2)
+        work = thread_work(a, np.empty(0, dtype=np.int64))
+        assert work.tolist() == [0, 0, 0]
+
     def test_uniform_weights(self):
         a = assign_round_robin(8, num_threads=2, chunk_size=2)
         work = thread_work(a, np.ones(8, dtype=np.int64))

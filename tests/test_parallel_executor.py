@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AlgorithmError
-from repro.parallel import ChunkedExecutor
+from repro.parallel import ChunkedExecutor, StepAccounting
 
 
 class TestMapChunks:
@@ -59,3 +59,27 @@ class TestMapChunks:
         out = ex.map_chunks(lambda c: len(c), np.array([]))
         assert out == []
         assert ex.history[0].total_work == 0
+
+    def test_zero_work_imbalance_is_balanced(self):
+        # An empty (or all-zero-weight) level must read as perfectly
+        # balanced, not divide by zero.
+        step = StepAccounting(
+            per_thread_work=np.zeros(4, dtype=np.int64),
+            total_work=0,
+            critical_path=0,
+        )
+        assert step.imbalance == pytest.approx(1.0)
+
+    def test_single_thread_is_always_balanced(self):
+        ex = ChunkedExecutor(num_threads=1, chunk_size=2)
+        ex.map_chunks(lambda c: None, np.arange(7), weights=np.arange(7))
+        assert ex.history[0].imbalance == pytest.approx(1.0)
+
+    def test_reset_clears_history(self):
+        ex = ChunkedExecutor(num_threads=2, chunk_size=2)
+        ex.map_chunks(lambda c: None, np.arange(4))
+        ex.map_chunks(lambda c: None, np.arange(4))
+        assert len(ex.history) == 2
+        ex.reset()
+        assert ex.history == []
+        assert ex.total_critical_path() == 0

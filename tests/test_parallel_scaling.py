@@ -46,3 +46,27 @@ class TestScalingStudy:
         study = ScalingStudy()
         with pytest.raises(AlgorithmError):
             study.run_input(empty_graph(0))
+
+    def test_run_input_accepts_config(self):
+        # keep_traces is forced on even when the caller's config left it
+        # off, so any parallel-engine config models cleanly.
+        from repro.core.config import FDiamConfig
+
+        study = ScalingStudy()
+        points = study.run_input(
+            watts_strogatz(400, 6, 0.1, seed=3),
+            FDiamConfig(engine="parallel", use_eliminate=False),
+        )
+        assert [p.num_threads for p in points] == list(PAPER_THREAD_COUNTS)
+
+    def test_empty_trace_error_names_engine(self):
+        # Only the parallel engine records per-level traces; asking the
+        # study to model any other engine must say which engine failed
+        # instead of silently assuming engine="parallel".
+        from repro.core.config import FDiamConfig
+
+        study = ScalingStudy()
+        with pytest.raises(AlgorithmError, match="engine 'serial'"):
+            study.run_input(
+                watts_strogatz(400, 6, 0.1, seed=3), FDiamConfig(engine="serial")
+            )
