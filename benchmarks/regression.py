@@ -45,9 +45,12 @@ from repro.core.config import FDiamConfig  # noqa: E402
 from repro.core.extremes import eccentricity_spectrum  # noqa: E402
 from repro.core.fdiam import fdiam  # noqa: E402
 from repro.bfs.kernel import TraversalKernel  # noqa: E402
+from repro.graph.io import save_npz  # noqa: E402
 from repro.harness.workloads import get_workload  # noqa: E402
 from repro.parallel.scaling import ScalingStudy  # noqa: E402
+from repro.prep.reorder import ORDER_STRATEGIES, apply_order  # noqa: E402
 from repro.query import QueryEngine  # noqa: E402
+from repro.store import load_scsr, save_scsr  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -242,6 +245,83 @@ def _stage_scaling_curve(graph, repeats):
     return out
 
 
+def _stage_store_compress(graph, repeats):
+    """Encode wall time and bytes/edge of the ``.scsr`` store.
+
+    Saves the graph both in input order and after a BFS locality
+    reorder (compression is a property of graph × order) next to an
+    uncompressed ``.npz`` of the same arrays, so the snapshot carries
+    the before/after bytes-per-edge and the headline size ratio. The
+    timed portion is the in-order encode; sizes are deterministic.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        npz = root / "g.npz"
+        save_npz(graph, npz, compressed=False)
+        npz_bytes = npz.stat().st_size
+        wall, info_raw = _timed(
+            lambda: save_scsr(graph, root / "raw.scsr"), repeats
+        )
+        ordered = apply_order(
+            graph, ORDER_STRATEGIES["bfs"](graph), name=graph.name
+        ).graph
+        info_bfs = save_scsr(
+            ordered, root / "bfs.scsr", provenance="reorder=bfs"
+        )
+    return {
+        "wall_s": wall,
+        "npz_bytes": npz_bytes,
+        "scsr_bytes": info_raw.nbytes,
+        "scsr_bytes_reordered": info_bfs.nbytes,
+        "bytes_per_edge": round(info_raw.bytes_per_edge, 3),
+        "bytes_per_edge_reordered": round(info_bfs.bytes_per_edge, 3),
+        "ratio_vs_npz": round(npz_bytes / info_raw.nbytes, 3),
+        "ratio_vs_npz_reordered": round(npz_bytes / info_bfs.nbytes, 3),
+    }
+
+
+def _stage_fdiam_scsr(graph, repeats):
+    """fdiam plus a 256-query batch answered straight off the store.
+
+    Each timed run re-opens the ``.scsr`` image (mmap), so the measured
+    wall includes the full decode the solver pays when working from
+    disk; ``run_suite`` pairs it against the in-memory ``fdiam`` +
+    ``query_batch`` stages as ``wall_ratio_vs_memory`` (the ISSUE's
+    ≤ 2× acceptance bar).
+    """
+    rng = np.random.default_rng(42)
+    pool = rng.integers(0, graph.num_vertices, size=48)
+    queries = ["diam"]
+    for _ in range(255):
+        u, v = (int(x) for x in rng.choice(pool, size=2))
+        queries.append(f"dist {u} {v}" if rng.random() < 0.6 else f"ecc {u}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.scsr"
+        save_scsr(graph, path)
+
+        def run():
+            loaded = load_scsr(path, mmap=True)
+            try:
+                res = fdiam(loaded)
+                engine = QueryEngine(batch_lanes=256)
+                _answers, stats = engine.run(
+                    engine.add_graph(loaded), queries
+                )
+            finally:
+                loaded.backing_store.close()
+            return res, stats
+
+        wall, (res, stats) = _timed(run, repeats)
+    return {
+        "wall_s": wall,
+        "bfs_count": res.stats.bfs_traversals,
+        "edges_examined": res.stats.edges_examined + stats.edges_examined,
+        "diameter": res.diameter,
+        "queries": stats.queries,
+    }
+
+
 def _stage_sumsweep(graph, repeats, lanes):
     wall, res = _timed(
         lambda: sumsweep_diameter(graph, batch_lanes=lanes), repeats
@@ -266,6 +346,8 @@ STAGES = {
     "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
     "sumsweep_lanes64": (lambda g, r: _stage_sumsweep(g, r, 64), True),
     "scaling_curve": (_stage_scaling_curve, True),
+    "store_compress": (_stage_store_compress, True),
+    "fdiam_scsr": (_stage_fdiam_scsr, True),
 }
 
 
@@ -312,6 +394,17 @@ def run_suite(
             )
             prep["edge_ratio_vs_plain"] = round(
                 plain["edges_examined"] / max(prep["edges_examined"], 1), 3
+            )
+        mem_fd = snapshot["stages"].get(f"{name}/fdiam")
+        mem_q = snapshot["stages"].get(f"{name}/query_batch")
+        scsr = snapshot["stages"].get(f"{name}/fdiam_scsr")
+        if scsr and mem_fd and mem_q:
+            # The store's acceptance headline: working straight off the
+            # compressed image must stay within 2x of in-memory.
+            scsr["wall_ratio_vs_memory"] = round(
+                scsr["wall_s"]
+                / max(mem_fd["wall_s"] + mem_q["wall_s"], 1e-9),
+                3,
             )
         scalar = snapshot["stages"].get(f"{name}/spectrum_scalar")
         lanes = snapshot["stages"].get(f"{name}/spectrum_lanes64")
@@ -445,6 +538,44 @@ def scaling_check(graphs=SMOKE_GRAPHS) -> int:
     return 1 if failures else 0
 
 
+def bytes_per_edge_check(
+    graph_name: str = "road-1M", min_ratio: float = 3.0
+) -> int:
+    """CI gate for the compressed store (``--bytes-per-edge-check``).
+
+    Builds the million-vertex road analog, applies the BFS locality
+    reorder (the ``--prep`` pipeline's pick for road topologies), and
+    fails unless the ``.scsr`` image is at least ``min_ratio``× smaller
+    than an uncompressed ``.npz`` of the same reordered arrays — the
+    ISSUE's acceptance bar for the format. Both encodings are fully
+    deterministic, so this gate never flakes.
+    """
+    graph = get_workload(graph_name).graph
+    ordered = apply_order(
+        graph, ORDER_STRATEGIES["bfs"](graph), name=graph.name
+    ).graph
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        npz = root / "g.npz"
+        save_npz(ordered, npz, compressed=False)
+        npz_bytes = npz.stat().st_size
+        info = save_scsr(ordered, root / "g.scsr", provenance="reorder=bfs")
+    ratio = npz_bytes / info.nbytes
+    line = (
+        f"{graph_name}: scsr {info.nbytes:,} B vs uncompressed npz "
+        f"{npz_bytes:,} B ({ratio:.2f}x smaller, "
+        f"{info.bytes_per_edge:.2f} B/edge after bfs reorder)"
+    )
+    if ratio >= min_ratio:
+        print(f"bytes-per-edge-check OK: {line}")
+        return 0
+    print(
+        f"BYTES-PER-EDGE-CHECK FAIL: {line} — need >= {min_ratio}x",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -486,12 +617,21 @@ def main(argv=None) -> int:
         help="measured multiprocess scaling-curve assertion only "
         "(checksum identical across worker counts; no snapshot written)",
     )
+    parser.add_argument(
+        "--bytes-per-edge-check",
+        action="store_true",
+        help="compressed-store size assertion on the million-vertex "
+        "road analog only (scsr >= 3x smaller than uncompressed npz "
+        "after bfs reorder; no snapshot written)",
+    )
     args = parser.parse_args(argv)
 
     if args.warm_check:
         return warm_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.scaling_check:
         return scaling_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
+    if args.bytes_per_edge_check:
+        return bytes_per_edge_check()
 
     date = args.date or _dt.date.today().isoformat()
     print(f"benchmark regression suite ({'smoke' if args.smoke else 'full'}) ...")

@@ -52,7 +52,7 @@ import numpy as np
 from repro.bfs.bitparallel import LaneSweep, lane_distances, lane_sweep
 from repro.bfs.bottomup import bottomup_step
 from repro.bfs.instrumentation import BFSTrace, Direction
-from repro.bfs.topdown import topdown_step
+from repro.bfs.topdown import topdown_step, topdown_step_blocks
 from repro.bfs.visited import VisitMarks
 from repro.errors import AlgorithmError, BenchmarkTimeout
 from repro.graph.csr import CSRGraph
@@ -132,6 +132,16 @@ class WorkspaceStats:
     per round), ``shm_resident`` is what is mapped right now, and
     ``shm_bytes`` is the high-water mark — the shm analog of
     ``peak_scratch_bytes``.
+
+    The compressed-store gather path mirrors the lane counters: when a
+    kernel routes expansions through per-block decoding
+    (:func:`repro.bfs.topdown.topdown_step_blocks`),
+    ``store_block_requests`` / ``store_block_hits`` count the block
+    LRU-cache traffic those expansions generated,
+    ``store_blocks_decoded`` / ``store_decoded_bytes`` the varint work
+    actually done, and ``store_block_evictions`` the cache pressure —
+    synced from the store's own :class:`~repro.store.BlockCacheStats`
+    after every block-path expansion.
     """
 
     buffer_requests: int = 0
@@ -147,6 +157,11 @@ class WorkspaceStats:
     shm_segments: int = 0
     shm_bytes: int = 0
     shm_resident: int = 0
+    store_block_requests: int = 0
+    store_block_hits: int = 0
+    store_blocks_decoded: int = 0
+    store_decoded_bytes: int = 0
+    store_block_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -161,6 +176,13 @@ class WorkspaceStats:
         if self.lane_requests == 0:
             return 0.0
         return self.lane_reuses / self.lane_requests
+
+    @property
+    def store_block_hit_rate(self) -> float:
+        """Fraction of store block requests served without a decode."""
+        if self.store_block_requests == 0:
+            return 0.0
+        return self.store_block_hits / self.store_block_requests
 
     def _record_alloc(self, nbytes: int) -> None:
         self.allocated_bytes += nbytes
@@ -415,6 +437,18 @@ class TraversalKernel:
         results are identical, the lane words carry seed-group
         diagnostics and the sweeps share the workspace's pooled lane
         matrices). ``0`` (the default) keeps the scalar top-down wave.
+    block_gather:
+        Policy for the compressed-store gather path, effective only
+        when the graph carries an open
+        :class:`~repro.store.CompressedCSR` (``.scsr`` loaded with
+        ``mmap=True``). ``"auto"`` (the default) asks
+        :meth:`~repro.parallel.costmodel.LevelSynchronousCostModel.choose_gather_path`
+        per :meth:`levels` expansion — level-capped waves expected to
+        touch only a sliver of the graph decode just their frontier's
+        blocks, everything else uses the decoded arrays; ``"force"``
+        routes every scalar expansion through the blocks (the
+        equivalence tests); ``"off"`` never touches the store. Either
+        way the results are bit-identical.
     """
 
     __slots__ = (
@@ -425,6 +459,9 @@ class TraversalKernel:
         "workspace",
         "deadline",
         "batch_lanes",
+        "block_gather",
+        "_block_store",
+        "_store_mark",
     )
 
     def __init__(
@@ -437,6 +474,7 @@ class TraversalKernel:
         workspace: Workspace | None = None,
         deadline: float | None = None,
         batch_lanes: int = 0,
+        block_gather: str = "auto",
     ):
         self.graph = graph
         self.engine = engine
@@ -452,6 +490,72 @@ class TraversalKernel:
         if batch_lanes < 0:
             raise AlgorithmError(f"batch_lanes must be >= 0, got {batch_lanes}")
         self.batch_lanes = batch_lanes
+        if block_gather not in ("auto", "force", "off"):
+            raise AlgorithmError(
+                f"block_gather must be 'auto', 'force', or 'off', "
+                f"got {block_gather!r}"
+            )
+        self.block_gather = block_gather
+        self._block_store = (
+            graph.backing_store if block_gather != "off" else None
+        )
+        if self._block_store is not None:
+            st = self._block_store.stats
+            self._store_mark = (
+                st.block_requests,
+                st.block_hits,
+                st.blocks_decoded,
+                st.decoded_bytes,
+                st.evictions,
+            )
+        else:
+            self._store_mark = (0, 0, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Compressed-store gather path
+    # ------------------------------------------------------------------
+    def _use_block_gather(
+        self, num_sources: int, max_level: int | None
+    ) -> bool:
+        """Whether this :meth:`levels` expansion should decode blocks."""
+        store = self._block_store
+        if store is None:
+            return False
+        if self.block_gather == "force":
+            return True
+        from repro.parallel.costmodel import LevelSynchronousCostModel
+
+        path, _ = LevelSynchronousCostModel().choose_gather_path(
+            num_sources=num_sources,
+            max_level=max_level,
+            num_vertices=self.graph.num_vertices,
+            num_directed_edges=self.graph.num_directed_edges,
+        )
+        return path == "blocks"
+
+    def _sync_store_stats(self) -> None:
+        """Fold the store's decode counters into the workspace stats.
+
+        The store's :class:`~repro.store.BlockCacheStats` are cumulative
+        over the store's whole lifetime (other kernels, the CLI, the
+        query engine may share it), so only the delta since this
+        kernel's last sync is charged here.
+        """
+        st = self._block_store.stats
+        now = (
+            st.block_requests,
+            st.block_hits,
+            st.blocks_decoded,
+            st.decoded_bytes,
+            st.evictions,
+        )
+        mark, self._store_mark = self._store_mark, now
+        ws = self.workspace.stats
+        ws.store_block_requests += now[0] - mark[0]
+        ws.store_block_hits += now[1] - mark[1]
+        ws.store_blocks_decoded += now[2] - mark[2]
+        ws.store_decoded_bytes += now[3] - mark[3]
+        ws.store_block_evictions += now[4] - mark[4]
 
     # ------------------------------------------------------------------
     # Deadline
@@ -713,6 +817,7 @@ class TraversalKernel:
                 sources, max_level, marks=marks, on_level=on_level
             )
 
+        use_blocks = self._use_block_gather(len(sources), max_level)
         levels: list[np.ndarray] = []
         frontier = sources
         level = 0
@@ -720,9 +825,14 @@ class TraversalKernel:
             if max_level is not None and level >= max_level:
                 break
             self.check_deadline()
-            next_frontier, edges = topdown_step(
-                self.graph, frontier, marks, pool=self.workspace
-            )
+            if use_blocks:
+                next_frontier, edges = topdown_step_blocks(
+                    self._block_store, frontier, marks, pool=self.workspace
+                )
+            else:
+                next_frontier, edges = topdown_step(
+                    self.graph, frontier, marks, pool=self.workspace
+                )
             self.workspace.stats.edges_examined += edges
             if len(next_frontier) == 0:
                 break
@@ -731,6 +841,8 @@ class TraversalKernel:
             level += 1
             if on_level is not None and on_level(level, next_frontier) is False:
                 break
+        if use_blocks:
+            self._sync_store_stats()
         return levels
 
     def _levels_lanes(

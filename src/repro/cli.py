@@ -6,8 +6,11 @@ the run statistics. Supports every format in :mod:`repro.graph.io`,
 the serial/parallel engines, the ablation switches, the extended
 radius/center/periphery analysis, the cross-run warm-start cache
 (``--cache DIR``), and the batched multi-query engine
-(``python -m repro query <graph-file> 'dist 0 5' 'ecc 3' diam``), and
-the differential fuzzer (``python -m repro fuzz --budget 60 --seed 0``).
+(``python -m repro query <graph-file> 'dist 0 5' 'ecc 3' diam``), the
+differential fuzzer (``python -m repro fuzz --budget 60 --seed 0``),
+and the storage converter
+(``python -m repro convert graph.npz graph.scsr --reorder bfs``) for
+the block-compressed ``.scsr`` store.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.graph import degree_summary, read_graph
 __all__ = [
     "main",
     "build_parser",
+    "build_convert_parser",
     "build_fuzz_parser",
     "build_query_parser",
     "format_bytes",
@@ -54,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "graph",
-        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, .npz)",
+        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, "
+        ".npz, .scsr)",
     )
     parser.add_argument(
         "--engine",
@@ -129,13 +134,126 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--mmap",
         action="store_true",
-        help="memory-map .npz graph files (uncompressed archives only) "
-        "instead of reading the arrays into memory",
+        help="memory-map the graph file instead of reading it into memory: "
+        ".npz maps the raw arrays (uncompressed archives only), .scsr "
+        "maps the compressed image and keeps it attached for block-"
+        "decoding gathers and compressed-image process sharing",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     return parser
+
+
+def build_convert_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro convert`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro convert",
+        description=(
+            "convert graphs between storage formats, including the "
+            "block-compressed .scsr store (round-trips are bit-exact)"
+        ),
+    )
+    parser.add_argument(
+        "input",
+        help="input graph (.el/.txt edge list, .gr DIMACS, .graph METIS, "
+        ".npz, .scsr)",
+    )
+    parser.add_argument(
+        "output",
+        help="output file; format chosen by extension (.scsr or .npz)",
+    )
+    parser.add_argument(
+        "--reorder",
+        choices=("none", "degree", "bfs", "rcm"),
+        default="none",
+        help="relabel vertices with this locality order before writing "
+        "(compression ratio is a property of graph x order; recorded in "
+        "the .scsr header provenance). Default: keep the input order",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="vertices per .scsr block (default 64); smaller blocks decode "
+        "less per partial traversal, larger ones shrink the offset index",
+    )
+    parser.add_argument(
+        "--uncompressed",
+        action="store_true",
+        help="write .npz output without zlib (required for --mmap loading)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print size accounting (bytes/edge, ratio vs the input file)",
+    )
+    return parser
+
+
+def convert_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``convert`` subcommand; returns the exit code."""
+    import os
+
+    args = build_convert_parser().parse_args(argv)
+    from repro.graph.io import save_npz
+    from repro.store import DEFAULT_BLOCK_SIZE, save_scsr
+
+    out_ext = os.path.splitext(args.output)[1].lower()
+    if out_ext not in (".scsr", ".npz"):
+        print(
+            f"error: unsupported output format {out_ext!r} "
+            "(expected .scsr or .npz)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.block_size is not None and args.block_size < 1:
+        print("error: --block-size must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        graph = read_graph(args.input)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    provenance = f"reorder={args.reorder}"
+    if args.reorder != "none":
+        from repro.prep.reorder import ORDER_STRATEGIES, apply_order
+
+        order = ORDER_STRATEGIES[args.reorder](graph)
+        graph = apply_order(graph, order, name=graph.name).graph
+
+    try:
+        if out_ext == ".scsr":
+            info = save_scsr(
+                graph,
+                args.output,
+                block_size=args.block_size or DEFAULT_BLOCK_SIZE,
+                provenance=provenance,
+            )
+            out_bytes = info.nbytes
+        else:
+            save_npz(graph, args.output, compressed=not args.uncompressed)
+            out_bytes = os.path.getsize(args.output)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"wrote {args.output} ({format_bytes(out_bytes)})")
+    if args.stats:
+        in_bytes = os.path.getsize(args.input)
+        print(f"input          : {format_bytes(in_bytes)} ({args.input})")
+        print(f"vertices       : {graph.num_vertices:,}")
+        print(f"edges          : {graph.num_edges:,}")
+        print(f"reorder        : {args.reorder}")
+        print(f"bytes/edge     : {out_bytes / max(graph.num_edges, 1):.2f}")
+        print(f"bytes/arc      : "
+              f"{out_bytes / max(graph.num_directed_edges, 1):.2f}")
+        if in_bytes:
+            print(f"size ratio     : {in_bytes / max(out_bytes, 1):.2f}x "
+                  "(input / output)")
+    return 0
 
 
 def build_query_parser() -> argparse.ArgumentParser:
@@ -149,7 +267,8 @@ def build_query_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "graph",
-        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, .npz)",
+        help="graph file (.el/.txt edge list, .gr DIMACS, .graph METIS, "
+        ".npz, .scsr)",
     )
     parser.add_argument(
         "queries",
@@ -401,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         return query_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "convert":
+        return convert_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.bfs_batch_lanes < 0:
         print("error: --bfs-batch-lanes must be >= 0", file=sys.stderr)
@@ -530,6 +651,13 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"shm segments   : {ws.shm_segments} created "
                       f"(peak {format_bytes(ws.shm_bytes)}, "
                       f"{format_bytes(ws.shm_resident)} still attached)")
+            if ws.store_block_requests:
+                print(f"store blocks   : {ws.store_block_hits}/"
+                      f"{ws.store_block_requests} requests "
+                      f"({100 * ws.store_block_hit_rate:.1f}% cache hit "
+                      f"rate), {ws.store_blocks_decoded:,} decoded "
+                      f"({format_bytes(ws.store_decoded_bytes)}, "
+                      f"{ws.store_block_evictions:,} evictions)")
         reasons = result.stats.lane_fallback_reasons
         if reasons:
             print(f"lane fallbacks : {len(reasons)}")

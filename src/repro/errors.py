@@ -25,6 +25,20 @@ class GraphFormatError(ReproError):
     """
 
 
+class StoreFormatError(GraphFormatError):
+    """A ``.scsr`` compressed-store image could not be decoded.
+
+    Raised by :mod:`repro.store` when a block-compressed CSR container
+    is damaged or unreadable: bad magic, an unknown schema version, a
+    truncated file, offset tables that point outside the image, or a
+    block whose varint stream decodes to out-of-range vertex ids. The
+    message names the file (when one is involved) and the failing
+    block or header field. Subclasses :class:`GraphFormatError` so
+    existing ``except GraphFormatError`` call sites treat a corrupt
+    store exactly like any other unreadable graph file.
+    """
+
+
 class GraphValidationError(ReproError):
     """A :class:`~repro.graph.CSRGraph` invariant does not hold.
 

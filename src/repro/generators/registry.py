@@ -30,7 +30,7 @@ from repro.generators.citation import citation_graph
 from repro.generators.delaunay import delaunay_graph
 from repro.generators.grid import grid_2d
 from repro.generators.kronecker import kronecker
-from repro.generators.powerlaw import barabasi_albert, copying_model
+from repro.generators.powerlaw import barabasi_albert, copying_model, scale_free
 from repro.generators.primitives import (
     balanced_tree,
     barbell,
@@ -49,8 +49,10 @@ from repro.graph.subgraph import induced_subgraph
 __all__ = [
     "AnalogSpec",
     "PAPER_ANALOGS",
+    "SCALE_ANALOGS",
     "FUZZ_FAMILIES",
     "build_analog",
+    "build_scale_analog",
     "build_fuzz_graph",
     "clear_cache",
 ]
@@ -215,7 +217,34 @@ PAPER_ANALOGS: dict[str, AnalogSpec] = {
     ),
 }
 
+#: The million-vertex benchmark tier. These are NOT paper Table 1
+#: inputs — they are the compressed-store stress workloads (ISSUE 7):
+#: one road/mesh analog and one power-law analog at ~10^6 vertices /
+#: >10^6 edges each, the scale where bytes-per-edge and
+#: store-vs-in-memory wall time stop being noise. Every generator used
+#: here is fully vectorized (``road_network``, :func:`scale_free`);
+#: the sequential-attachment processes would take minutes at this
+#: size. ``paper_vertices`` records the analog's own nominal scale and
+#: ``paper_diameter`` is 0 (there is no paper row to compare against).
+SCALE_ANALOGS: dict[str, AnalogSpec] = {
+    "road-1M": _spec(
+        "road-1M (scale tier)", "road map", 1_000_000, 0,
+        lambda: road_network(
+            576, 576, edge_keep=0.8, chain_fraction=0.3, chain_length=4,
+            seed=1_000_001, name="road-1M",
+        ),
+    ),
+    "powerlaw-1M": _spec(
+        "powerlaw-1M (scale tier)", "power law", 1_000_000, 0,
+        lambda: scale_free(
+            1_000_000, avg_degree=3.2, exponent=2.3,
+            seed=1_000_002, name="powerlaw-1M",
+        ),
+    ),
+}
+
 _CACHE: dict[str, CSRGraph] = {}
+_SCALE_CACHE: dict[str, CSRGraph] = {}
 
 
 def build_analog(name: str) -> CSRGraph:
@@ -229,9 +258,26 @@ def build_analog(name: str) -> CSRGraph:
     return _CACHE[name]
 
 
+def build_scale_analog(name: str) -> CSRGraph:
+    """Build (or fetch the cached) million-vertex tier workload.
+
+    Cached separately from the paper analogs: a scale-tier graph is
+    tens of megabytes, and :func:`clear_cache` drops both caches so
+    tests and bench stages can bound memory the same way either way.
+    """
+    if name not in SCALE_ANALOGS:
+        raise KeyError(
+            f"unknown scale-tier input {name!r}; known: {sorted(SCALE_ANALOGS)}"
+        )
+    if name not in _SCALE_CACHE:
+        _SCALE_CACHE[name] = SCALE_ANALOGS[name].factory()
+    return _SCALE_CACHE[name]
+
+
 def clear_cache() -> None:
     """Drop all cached analogs (tests use this to bound memory)."""
     _CACHE.clear()
+    _SCALE_CACHE.clear()
 
 
 # ----------------------------------------------------------------------

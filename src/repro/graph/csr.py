@@ -53,11 +53,21 @@ class CSRGraph:
         undirected edge contributes two entries.
     name:
         Optional human-readable label used in benchmark tables.
+    storage:
+        Storage-format tag of the container the graph was decoded
+        from: ``"csr"`` for in-memory construction and the plain
+        array formats (``.npz``, text), ``"scsr:v1"`` for the
+        block-compressed store. :func:`repro.graph.io.graph_digest`
+        folds this tag into the cache key so loads of the same graph
+        through different formats never share warm-start sidecars.
+        Excluded from equality — the adjacency structure is what a
+        graph *is*; the tag records where it came from.
     """
 
     indptr: np.ndarray
     indices: np.ndarray
     name: str = "graph"
+    storage: str = field(default="csr", compare=False)
     _degrees: np.ndarray = field(init=False, repr=False, compare=False)
     _adj_lists: list | None = field(
         init=False, repr=False, compare=False, default=None
@@ -195,10 +205,29 @@ class CSRGraph:
         renamed copy would silently repeat the most expensive part of a
         serial-engine warm-up.
         """
-        copy = CSRGraph(self.indptr, self.indices, name=name)
+        copy = CSRGraph(
+            self.indptr, self.indices, name=name, storage=self.storage
+        )
         if self._adj_lists is not None:
             object.__setattr__(copy, "_adj_lists", self._adj_lists)
+        backing = self.backing_store
+        if backing is not None:
+            object.__setattr__(copy, "_backing", backing)
         return copy
+
+    @property
+    def backing_store(self):
+        """The open compressed container behind this graph, if any.
+
+        ``.scsr`` loads with ``mmap=True`` attach their
+        :class:`~repro.store.CompressedCSR` here (via
+        ``object.__setattr__`` — derived state, like the adjacency-list
+        cache) so the traversal kernel can route partial expansions
+        through per-block decoding and the multiprocess pool can ship
+        the compressed image instead of the decoded arrays. ``None``
+        for every other graph.
+        """
+        return getattr(self, "_backing", None)
 
     def memory_bytes(self) -> int:
         """Bytes held by the CSR arrays (useful in benchmark reports)."""

@@ -56,6 +56,7 @@ __all__ = [
     "load_npz",
     "read_graph",
     "graph_digest",
+    "content_digest",
 ]
 
 _COMMENT_PREFIXES = ("#", "%")
@@ -512,21 +513,38 @@ def load_npz(path: str | os.PathLike, *, mmap: bool = False) -> CSRGraph:
     return CSRGraph(indptr, indices, name=name)
 
 
-def graph_digest(graph: CSRGraph) -> str:
-    """Content digest of a graph's CSR arrays (hex SHA-256).
+def content_digest(*arrays: np.ndarray) -> str:
+    """Hex SHA-256 over the dtype, shape, and bytes of some arrays.
 
-    The key of the warm-start cache (:mod:`repro.cache`): two graphs
-    share a digest iff their ``indptr``/``indices`` arrays are byte-
-    identical (dtype and shape included, so a permuted, perturbed, or
-    differently-typed graph never collides). The name is deliberately
-    excluded — renaming a graph does not change any distance.
+    Storage-independent: this is what the ``.scsr`` header records so a
+    decoded store can be verified against the arrays it claims to hold,
+    whatever container they travelled in.
     """
     h = hashlib.sha256()
-    for arr in (graph.indptr, graph.indices):
+    for arr in arrays:
         a = np.ascontiguousarray(arr)
         h.update(str(a.dtype).encode())
         h.update(str(a.shape).encode())
         h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """Cache-key digest of a graph (hex SHA-256).
+
+    The key of the warm-start cache (:mod:`repro.cache`): two graphs
+    share a digest iff their ``indptr``/``indices`` arrays are byte-
+    identical (dtype and shape included, so a permuted, perturbed, or
+    differently-typed graph never collides) *and* they came through the
+    same storage format (``CSRGraph.storage`` — an in-memory/``.npz``
+    graph and its ``.scsr`` twin must not share warm-start sidecars,
+    since the sidecar records which backing produced the certified
+    artifacts). The name is deliberately excluded — renaming a graph
+    does not change any distance.
+    """
+    h = hashlib.sha256()
+    h.update(f"storage:{graph.storage}\n".encode())
+    h.update(content_digest(graph.indptr, graph.indices).encode())
     return h.hexdigest()
 
 
@@ -549,18 +567,26 @@ def read_graph(
 ) -> CSRGraph:
     """Read a graph, choosing the format from the file extension.
 
-    ``mmap`` requests memory-mapped CSR arrays and only applies to
-    ``.npz`` archives (see :func:`load_npz`); text formats always parse
-    into memory.
+    ``mmap`` applies to the binary containers and dispatches on the
+    format: for ``.npz`` it memory-maps the CSR arrays (see
+    :func:`load_npz`); for ``.scsr`` it memory-maps the *compressed*
+    image and keeps it attached as the graph's backing store (see
+    :func:`repro.store.load_scsr`). Text formats always parse into
+    memory.
     """
     suffix = Path(path).suffix.lower()
     if suffix == ".npz":
         return load_npz(path, mmap=mmap)
+    if suffix == ".scsr":
+        # Call-time import: the store package sits above graph/io.
+        from repro.store import load_scsr
+
+        return load_scsr(path, mmap=mmap)
     reader = _READERS.get(suffix)
     if reader is None:
         raise GraphFormatError(
             f"unknown graph file extension {suffix!r} "
-            f"(known: {sorted(_READERS) + ['.npz']})"
+            f"(known: {sorted(_READERS) + ['.npz', '.scsr']})"
         )
     return reader(path, name=name)
 

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.generators.registry import PAPER_ANALOGS, AnalogSpec, build_analog
+from repro.generators.registry import (
+    PAPER_ANALOGS,
+    SCALE_ANALOGS,
+    AnalogSpec,
+    build_analog,
+    build_scale_analog,
+)
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -23,6 +29,7 @@ __all__ = [
     "FAST_INPUTS",
     "SMALL_WORLD_INPUTS",
     "HIGH_DIAMETER_INPUTS",
+    "SCALE_INPUTS",
     "get_workload",
     "iter_workloads",
 ]
@@ -66,6 +73,12 @@ FAST_INPUTS: tuple[str, ...] = (
     "amazon0601",
 )
 
+#: The million-vertex tier (compressed-store stress workloads). Not
+#: part of :data:`ALL_INPUTS` — they have no paper Table 1 row and
+#: only the store/bench stages that opt in should pay their build
+#: cost.
+SCALE_INPUTS: tuple[str, ...] = tuple(SCALE_ANALOGS)
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -77,7 +90,11 @@ class Workload:
 
 
 def get_workload(name: str) -> Workload:
-    """Build (cached) and wrap one analog."""
+    """Build (cached) and wrap one analog (paper or scale tier)."""
+    if name in SCALE_ANALOGS:
+        return Workload(
+            name=name, graph=build_scale_analog(name), spec=SCALE_ANALOGS[name]
+        )
     return Workload(name=name, graph=build_analog(name), spec=PAPER_ANALOGS[name])
 
 

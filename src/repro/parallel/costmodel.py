@@ -139,6 +139,16 @@ class CostModelParams:
     #: deliberately small — but a round whose serial BFS work is below
     #: it should never leave the process.
     process_overhead_s: float = 5e-3
+    #: Largest fraction of the graph a level-capped expansion may be
+    #: expected to touch for the block-decoding gather path
+    #: (:func:`repro.bfs.topdown.topdown_step_blocks`) to win over the
+    #: decoded-array gather. Varint-decoding a block costs roughly an
+    #: order of magnitude more per arc than slicing the decoded
+    #: ``indices``, but it touches only the frontier's blocks — so it
+    #: pays exactly when the expansion stays tiny (Eliminate probes,
+    #: Winnow balls, ``ball()`` queries) and the full decoded arrays
+    #: would be dragged through cache for a handful of rows.
+    block_gather_fraction: float = 0.05
 
     def __post_init__(self) -> None:
         if self.edge_rate <= 0 or self.chunk_size < 1 or self.bandwidth_threads < 1:
@@ -156,6 +166,8 @@ class CostModelParams:
         if self.llc_bytes < 1:
             raise AlgorithmError("invalid cost model parameters")
         if self.process_overhead_s <= 0:
+            raise AlgorithmError("invalid cost model parameters")
+        if not 0 < self.block_gather_fraction <= 1:
             raise AlgorithmError("invalid cost model parameters")
 
 
@@ -384,6 +396,51 @@ class LevelSynchronousCostModel:
             if serial_s * (1.0 - 1.0 / workers) > self.params.process_overhead_s:
                 return "multiprocess"
         return "bitparallel" if use_lanes else "serial"
+
+    def choose_gather_path(
+        self,
+        *,
+        num_sources: int,
+        max_level: int | None,
+        num_vertices: int,
+        num_directed_edges: int,
+    ) -> tuple[str, str]:
+        """Pick the gather path for one multi-source level expansion.
+
+        Returns ``("blocks" | "decoded", reason)`` — the verdict the
+        traversal kernel consults when its graph carries an open
+        compressed store (``block_gather="auto"``). Same reason-string
+        contract as :meth:`lane_batch_verdict`: a small stable
+        vocabulary the workspace report can surface.
+
+        The expected touched-vertex count of a ``max_level``-capped
+        expansion from ``k`` sources is modeled as
+        ``min(n, k * avg_degree ** max_level)`` (computed in log space
+        so deep caps cannot overflow); the block path wins only when
+        that stays within
+        :attr:`~CostModelParams.block_gather_fraction` of the graph —
+        beyond it, per-block varint decoding re-pays the full-decode
+        cost with none of the locality benefit.
+        """
+        n = max(int(num_vertices), 1)
+        if max_level is None:
+            return "decoded", "uncapped expansion reaches the whole component"
+        k = max(int(num_sources), 1)
+        avg = max(num_directed_edges / n, 1.0)
+        log_touched = log(k) + max_level * log(avg) if avg > 1.0 else log(k)
+        fraction = 1.0 if log_touched >= log(n) else min(
+            (k * avg**max_level) / n, 1.0
+        )
+        limit = self.params.block_gather_fraction
+        if fraction <= limit:
+            return "blocks", (
+                f"expected touch fraction {fraction:.4f} within "
+                f"block gather fraction {limit:g}"
+            )
+        return "decoded", (
+            f"expected touch fraction {fraction:.4f} exceeds "
+            f"block gather fraction {limit:g}"
+        )
 
     # ------------------------------------------------------------------
     # Bit-parallel lane accounting

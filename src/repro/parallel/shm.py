@@ -148,9 +148,26 @@ class SharedCSR:
     physical pages via :meth:`attach`, so the graph is shared with
     zero pickling and zero per-worker copies (only the ``O(n)`` degree
     array is worker-local).
+
+    When the parent's graph carries an open compressed store (a
+    ``.scsr`` loaded with ``mmap=True`` — see
+    :attr:`~repro.graph.csr.CSRGraph.backing_store`) and the compressed
+    image is smaller than the decoded arrays, the segment ships the
+    *image* instead (``spec["kind"] == "scsr"``): each worker
+    varint-decodes its own private CSR from the shared pages on
+    attach. The segment shrinks by the store's compression ratio at
+    the cost of one full decode per worker — paid once per pool, not
+    per round — and the decoded answers are bit-identical either way
+    (the differential tests cross-check spawned backends over both
+    segment kinds).
     """
 
     def __init__(self, graph: CSRGraph):
+        store = graph.backing_store
+        decoded_nbytes = graph.indptr.nbytes + graph.indices.nbytes
+        if store is not None and store.image_nbytes < decoded_nbytes:
+            self._init_scsr(graph, store)
+            return
         n = graph.num_vertices
         m = len(graph.indices)
         indptr_bytes = 8 * (n + 1)
@@ -171,15 +188,43 @@ class SharedCSR:
             "name": graph.name,
         }
 
+    def _init_scsr(self, graph: CSRGraph, store) -> None:
+        """Place the compressed ``.scsr`` image in the segment."""
+        image = store.image
+        self._seg = create_segment(len(image))
+        view = np.ndarray(len(image), dtype=np.uint8, buffer=self._seg.buf)
+        view[:] = image
+        self.nbytes = self._seg.size
+        self.spec = {
+            "segment": self._seg.name,
+            "kind": "scsr",
+            "image_nbytes": len(image),
+            "name": graph.name,
+        }
+
     @staticmethod
     def attach(spec: dict) -> tuple[CSRGraph, object]:
         """Rebuild the graph from a worker process; returns ``(graph, seg)``.
 
         The returned segment handle must be kept alive as long as the
         graph is used (the arrays view its buffer) and ``close()``\\d —
-        never unlinked — when the worker shuts down.
+        never unlinked — when the worker shuts down. For ``"scsr"``
+        segments the worker decodes a private copy, so the handle only
+        needs to outlive the attach itself; it is still returned for a
+        uniform lifecycle.
         """
         seg = attach_segment(spec["segment"])
+        if spec.get("kind") == "scsr":
+            from repro.store import CompressedCSR
+
+            image = np.ndarray(
+                int(spec["image_nbytes"]), dtype=np.uint8, buffer=seg.buf
+            )
+            store = CompressedCSR.from_buffer(
+                image, source=f"<shm:{spec['segment']}>"
+            )
+            graph = store.to_graph().with_name(spec["name"])
+            return graph, seg
         n = int(spec["num_vertices"])
         m = int(spec["num_indices"])
         indptr = np.ndarray(n + 1, dtype=np.int64, buffer=seg.buf)

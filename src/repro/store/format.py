@@ -1,0 +1,190 @@
+"""On-disk layout of the ``.scsr`` block-compressed CSR container.
+
+One little-endian image, in file order (DESIGN.md §13 has the design
+rationale):
+
+1. **Fixed header** (112 bytes, :data:`HEADER_STRUCT`): magic,
+   schema version, flags (indices dtype), vertex/arc counts, block
+   size, block count, the byte lengths of the two variable header
+   strings, and the 64-char hex content digest of the decoded CSR
+   arrays.
+2. **Name** and **reorder-provenance** strings (UTF-8), padded to an
+   8-byte boundary so everything after them stays aligned.
+3. **Block index** — three fixed-width ``uint64`` tables of
+   ``num_blocks + 1`` entries each, viewable zero-copy off the mmap:
+   ``first_edge`` (cumulative arc count at each block boundary, i.e.
+   ``indptr`` sampled every ``block_size`` vertices), ``deg_offsets``
+   (byte offsets into the degree stream), and ``adj_offsets`` (byte
+   offsets into the adjacency stream).
+4. **Degree stream** — the ``n`` vertex degrees, varint-encoded.
+5. **Adjacency stream** — per row, a zigzag first-neighbour delta,
+   then ``gap - 1`` for every following neighbour (rows are sorted and
+   deduplicated, so gaps are ≥ 1). First-neighbour deltas chain
+   *within a block*: the block's first non-empty row encodes against
+   its own vertex id, each later row against the previous non-empty
+   row's first neighbour — locality-reordered CSRs have near-identical
+   firsts in consecutive rows, and the chain never crosses a block
+   boundary, so blocks stay independently decodable.
+
+Every structural check in :func:`unpack_header` raises
+:class:`~repro.errors.StoreFormatError` with the failing field named,
+so a damaged file fails loudly at open time instead of mid-decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "STORAGE_TAG",
+    "HEADER_STRUCT",
+    "StoreHeader",
+    "pack_header",
+    "unpack_header",
+]
+
+#: First 8 bytes of every ``.scsr`` file.
+MAGIC = b"REPRSCSR"
+
+#: Schema version this module reads and writes.
+FORMAT_VERSION = 1
+
+#: The ``CSRGraph.storage`` tag of graphs decoded from this format —
+#: the string :func:`repro.graph.io.graph_digest` folds into the cache
+#: key so a ``.scsr`` load can never collide with an ``.npz`` load.
+STORAGE_TAG = f"scsr:v{FORMAT_VERSION}"
+
+#: magic, version, flags, n, m, block_size, num_blocks, name_len,
+#: provenance_len, digest — 112 bytes, all little-endian.
+HEADER_STRUCT = struct.Struct("<8sIIQQII II64s")
+
+#: Flag bit: adjacency decodes to ``int64`` (unset → ``int32``).
+_FLAG_INT64 = 1
+
+
+@dataclass(frozen=True)
+class StoreHeader:
+    """Parsed fixed header plus the variable strings."""
+
+    num_vertices: int
+    num_directed_edges: int
+    block_size: int
+    num_blocks: int
+    indices_dtype: np.dtype
+    digest: str
+    name: str
+    provenance: str
+
+    @property
+    def index_entries(self) -> int:
+        """Entries per block-index table (``num_blocks + 1``)."""
+        return self.num_blocks + 1
+
+
+def _padded(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+def pack_header(header: StoreHeader) -> bytes:
+    """Serialize the header + strings + alignment padding."""
+    name = header.name.encode("utf-8")
+    provenance = header.provenance.encode("utf-8")
+    digest = header.digest.encode("ascii")
+    if len(digest) != 64:
+        raise StoreFormatError(
+            f"digest must be 64 hex chars, got {len(digest)}"
+        )
+    flags = _FLAG_INT64 if header.indices_dtype == np.dtype(np.int64) else 0
+    fixed = HEADER_STRUCT.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        flags,
+        header.num_vertices,
+        header.num_directed_edges,
+        header.block_size,
+        header.num_blocks,
+        len(name),
+        len(provenance),
+        digest,
+    )
+    variable = name + provenance
+    return fixed + variable + b"\0" * (_padded(len(variable)) - len(variable))
+
+
+def unpack_header(image: np.ndarray, *, source: str = "<buffer>") -> tuple[StoreHeader, int]:
+    """Parse the header of a raw ``uint8`` image.
+
+    Returns ``(header, index_offset)`` where ``index_offset`` is the
+    byte position of the first block-index table. Raises
+    :class:`StoreFormatError` on any malformed field — this is the
+    single choke point the corruption tests exercise.
+    """
+    if len(image) < HEADER_STRUCT.size:
+        raise StoreFormatError(
+            f"{source}: file too short for a .scsr header "
+            f"({len(image)} < {HEADER_STRUCT.size} bytes)"
+        )
+    (
+        magic,
+        version,
+        flags,
+        num_vertices,
+        num_arcs,
+        block_size,
+        num_blocks,
+        name_len,
+        provenance_len,
+        digest_raw,
+    ) = HEADER_STRUCT.unpack(image[: HEADER_STRUCT.size].tobytes())
+    if magic != MAGIC:
+        raise StoreFormatError(
+            f"{source}: bad magic {magic!r} (not a .scsr file)"
+        )
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{source}: schema version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if block_size < 1:
+        raise StoreFormatError(f"{source}: block size {block_size} < 1")
+    expected_blocks = -(-num_vertices // block_size) if num_vertices else 0
+    if num_blocks != expected_blocks:
+        raise StoreFormatError(
+            f"{source}: header claims {num_blocks} blocks but "
+            f"{num_vertices} vertices / block size {block_size} "
+            f"needs {expected_blocks}"
+        )
+    var_start = HEADER_STRUCT.size
+    var_end = var_start + name_len + provenance_len
+    index_offset = var_start + _padded(name_len + provenance_len)
+    if index_offset > len(image):
+        raise StoreFormatError(
+            f"{source}: header strings run past end of file (truncated)"
+        )
+    name_end = var_start + name_len
+    try:
+        digest = digest_raw.decode("ascii")
+        name = image[var_start:name_end].tobytes().decode("utf-8")
+        provenance = image[name_end:var_end].tobytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise StoreFormatError(f"{source}: corrupt header strings") from exc
+    if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+        raise StoreFormatError(f"{source}: corrupt content digest in header")
+    header = StoreHeader(
+        num_vertices=num_vertices,
+        num_directed_edges=num_arcs,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        indices_dtype=np.dtype(np.int64 if flags & _FLAG_INT64 else np.int32),
+        digest=digest,
+        name=name,
+        provenance=provenance,
+    )
+    return header, index_offset

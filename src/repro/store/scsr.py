@@ -1,0 +1,697 @@
+"""The ``.scsr`` succinct block-compressed CSR container.
+
+WebGraph-style compression specialized to this package's CSR graphs
+(sorted, deduplicated, symmetric adjacency): every row stores the
+zigzag delta of its first neighbour against the row's own vertex id,
+then ``gap - 1`` for each following neighbour, all varint-packed
+(:mod:`repro.store.varint`). Rows are grouped into fixed-size vertex
+*blocks* with a fixed-width ``uint64`` offset index, so any block
+decodes independently of the rest of the image — partial traversals
+touch only the file regions their frontier actually visits.
+
+Locality-aware vertex orders (the PR 3 ``--prep`` reorder pipeline)
+are what make the gaps small: after a BFS/RCM reorder neighbours carry
+nearby ids, first deltas and gaps fit in one byte, and a road-network
+CSR drops from ~12 bytes/arc (``int32`` ``.npz``) to ~1.5 bytes/arc.
+The reorder strategy travels in the header's provenance string.
+
+Three entry points:
+
+* :func:`save_scsr` — encode a :class:`~repro.graph.csr.CSRGraph`
+  (fully vectorized; returns the size accounting the benchmarks
+  report).
+* :func:`open_scsr` / :class:`CompressedCSR` — mmap the image
+  zero-copy and decode per block through an LRU block cache
+  (:meth:`CompressedCSR.gather_rows` is the traversal kernel's
+  block-decoding gather path).
+* :func:`load_scsr` — full decode back to a ``CSRGraph`` (storage tag
+  ``"scsr:v1"``), digest-verified; with ``mmap=True`` the compressed
+  image stays attached as the graph's ``backing_store`` so the kernel
+  and the multiprocess pool can use it.
+
+Every corruption mode raises :class:`~repro.errors.StoreFormatError`
+with the file and failing region named.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.io import content_digest
+from repro.store.format import (
+    FORMAT_VERSION,
+    STORAGE_TAG,
+    StoreHeader,
+    pack_header,
+    unpack_header,
+)
+from repro.store.varint import (
+    decode_varints,
+    encode_varints,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CACHE_BLOCKS",
+    "BlockCacheStats",
+    "StoreInfo",
+    "CompressedCSR",
+    "save_scsr",
+    "open_scsr",
+    "load_scsr",
+]
+
+#: Vertices per block. 64 keeps a block's decoded rows around one
+#: cache line of ids per vertex on the pinned analogs while the
+#: fixed-width index stays < 0.4 bytes/vertex.
+DEFAULT_BLOCK_SIZE = 64
+
+#: Blocks the decode cache retains (LRU); at the default block size
+#: this bounds resident decoded scratch to a few MiB even on hub rows.
+DEFAULT_CACHE_BLOCKS = 512
+
+
+@dataclass
+class BlockCacheStats:
+    """Decode accounting of one :class:`CompressedCSR`.
+
+    Mirrors the :class:`~repro.bfs.kernel.WorkspaceStats` style:
+    ``block_requests`` counts every block the gather path asked for,
+    ``block_hits`` the ones served from the LRU cache without
+    decoding, ``blocks_decoded`` / ``decoded_bytes`` the actual varint
+    work, and ``evictions`` the cache pressure.
+    """
+
+    block_requests: int = 0
+    block_hits: int = 0
+    blocks_decoded: int = 0
+    decoded_bytes: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of block requests served without a decode."""
+        if self.block_requests == 0:
+            return 0.0
+        return self.block_hits / self.block_requests
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Size accounting returned by :func:`save_scsr`."""
+
+    path: str
+    nbytes: int
+    num_vertices: int
+    num_edges: int
+    num_directed_edges: int
+    block_size: int
+    num_blocks: int
+    provenance: str
+
+    @property
+    def bytes_per_edge(self) -> float:
+        """File bytes per undirected edge (the bench-JSON headline)."""
+        return self.nbytes / max(self.num_edges, 1)
+
+    @property
+    def bytes_per_arc(self) -> float:
+        """File bytes per stored directed arc."""
+        return self.nbytes / max(self.num_directed_edges, 1)
+
+
+def _block_boundaries(num_vertices: int, block_size: int) -> np.ndarray:
+    """Vertex id at each block boundary (length ``num_blocks + 1``)."""
+    num_blocks = -(-num_vertices // block_size) if num_vertices else 0
+    bounds = np.arange(num_blocks + 1, dtype=np.int64) * block_size
+    return np.minimum(bounds, num_vertices)
+
+
+def _decode_rows(
+    vals: np.ndarray,
+    degrees: np.ndarray,
+    first_vertex: int,
+    num_vertices: int,
+    block_size: int,
+    *,
+    source: str,
+    region: str,
+) -> np.ndarray:
+    """Rebuild absolute neighbour ids from decoded delta values.
+
+    ``vals`` holds the varint-decoded codes of consecutive rows whose
+    degrees are ``degrees`` and whose first row is vertex
+    ``first_vertex``. Two layered carry-corrected ``cumsum`` passes do
+    all the work with no per-row loop:
+
+    1. the zigzag codes at the row starts chain first-neighbour
+       deltas row-to-row *within each block* (the block's first
+       non-empty row is anchored to its own vertex id), so one cumsum
+       per block segment realizes every row's first neighbour;
+    2. the remaining codes are ``gap - 1`` values, so one global
+       cumsum — minus each row's carried-in prefix (``np.repeat``) —
+       realizes the absolute ids.
+    """
+    local_indptr = np.concatenate(
+        ([0], np.cumsum(degrees.astype(np.int64)))
+    )
+    if len(vals) == 0:
+        return np.empty(0, dtype=np.int64)
+    nz = degrees > 0
+    row_starts = local_indptr[:-1][nz]
+    row_ids = first_vertex + np.flatnonzero(nz)
+
+    # Pass 1: first neighbours, chained per block segment.
+    z = zigzag_decode(vals[row_starts])
+    blocks = row_ids // block_size
+    seg_first = np.empty(len(row_ids), dtype=bool)
+    seg_first[0] = True
+    seg_first[1:] = blocks[1:] != blocks[:-1]
+    z[seg_first] += row_ids[seg_first]
+    seg_pos = np.flatnonzero(seg_first)
+    seg_lens = np.diff(np.append(seg_pos, len(row_ids)))
+    chained = np.cumsum(z)
+    firsts = chained - np.repeat((chained - z)[seg_pos], seg_lens)
+
+    # Pass 2: within-row gaps, carry-corrected global cumsum.
+    d = vals.astype(np.int64) + 1
+    d[row_starts] = firsts
+    running = np.cumsum(d)
+    carry = (running - d)[row_starts]
+    adj = running - np.repeat(carry, degrees[nz])
+    if len(adj) and (int(adj.min()) < 0 or int(adj.max()) >= num_vertices):
+        raise StoreFormatError(
+            f"{source}: {region}: decoded neighbour id out of range "
+            f"[0, {num_vertices}) — corrupt adjacency stream"
+        )
+    return adj
+
+
+class CompressedCSR:
+    """A parsed ``.scsr`` image with per-block decoding.
+
+    The image (mmap or in-memory buffer) is never copied: the header
+    and the three ``uint64`` index tables are zero-copy views, and
+    only the blocks a caller touches are varint-decoded — into fresh
+    arrays held by an LRU cache whose footprint :class:`BlockCacheStats`
+    tracks. All parsing errors raise
+    :class:`~repro.errors.StoreFormatError` naming ``source``.
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        *,
+        source: str = "<buffer>",
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    ):
+        self._image = np.ascontiguousarray(image, dtype=np.uint8).reshape(-1)
+        self._source = source
+        self.stats = BlockCacheStats()
+        self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+        self._cache_blocks = max(int(cache_blocks), 1)
+        self._degrees: np.ndarray | None = None
+        self._indptr: np.ndarray | None = None
+
+        self.header, index_offset = unpack_header(self._image, source=source)
+        entries = self.header.index_entries
+        table = 8 * entries
+        streams_start = index_offset + 3 * table
+        if streams_start > len(self._image):
+            raise StoreFormatError(
+                f"{source}: file too short for the block index (truncated)"
+            )
+
+        def _table(k: int) -> np.ndarray:
+            lo = index_offset + k * table
+            return self._image[lo : lo + table].view(np.uint64)
+
+        self._first_edge = _table(0).astype(np.int64)
+        self._deg_offsets = _table(1).astype(np.int64)
+        self._adj_offsets = _table(2).astype(np.int64)
+        for label, offs, last in (
+            ("first_edge", self._first_edge, self.header.num_directed_edges),
+            ("deg_offsets", self._deg_offsets, None),
+            ("adj_offsets", self._adj_offsets, None),
+        ):
+            if offs[0] != 0 or (np.diff(offs) < 0).any():
+                raise StoreFormatError(
+                    f"{source}: {label} index is not monotone (corrupt)"
+                )
+            if last is not None and offs[-1] != last:
+                raise StoreFormatError(
+                    f"{source}: {label} index ends at {int(offs[-1])}, "
+                    f"header claims {last} arcs"
+                )
+        deg_len = int(self._deg_offsets[-1])
+        adj_len = int(self._adj_offsets[-1])
+        self._deg_stream = self._image[streams_start : streams_start + deg_len]
+        adj_start = streams_start + deg_len
+        self._adj_stream = self._image[adj_start : adj_start + adj_len]
+        if adj_start + adj_len > len(self._image):
+            raise StoreFormatError(
+                f"{source}: adjacency stream runs past end of file "
+                f"(truncated: need {adj_start + adj_len} bytes, "
+                f"have {len(self._image)})"
+            )
+        self._bounds = _block_boundaries(
+            self.header.num_vertices, self.header.block_size
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str | os.PathLike, *, cache_blocks: int = DEFAULT_CACHE_BLOCKS
+    ) -> "CompressedCSR":
+        """Memory-map ``path`` read-only and parse it (zero-copy)."""
+        try:
+            image = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise StoreFormatError(f"{path}: cannot map .scsr file ({exc})") from exc
+        return cls(image, source=str(path), cache_blocks=cache_blocks)
+
+    @classmethod
+    def from_buffer(
+        cls,
+        buf,
+        *,
+        source: str = "<shared>",
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    ) -> "CompressedCSR":
+        """Parse an in-memory image (e.g. a shared-memory segment)."""
+        return cls(
+            np.frombuffer(buf, dtype=np.uint8),
+            source=source,
+            cache_blocks=cache_blocks,
+        )
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.header.num_vertices
+
+    @property
+    def num_directed_edges(self) -> int:
+        return self.header.num_directed_edges
+
+    @property
+    def num_blocks(self) -> int:
+        return self.header.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.header.block_size
+
+    @property
+    def name(self) -> str:
+        return self.header.name
+
+    @property
+    def provenance(self) -> str:
+        return self.header.provenance
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the decoded arrays (from the header)."""
+        return self.header.digest
+
+    @property
+    def image_nbytes(self) -> int:
+        """Bytes of the compressed image (what shm sharing ships)."""
+        return len(self._image)
+
+    @property
+    def image(self) -> np.ndarray:
+        """The raw ``uint8`` image (read-only view)."""
+        return self._image
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees (decoded once from the degree stream)."""
+        if self._degrees is None:
+            n = self.header.num_vertices
+            degs = decode_varints(self._deg_stream, expected=n).astype(np.int64)
+            if int(degs.sum()) != self.header.num_directed_edges:
+                raise StoreFormatError(
+                    f"{self._source}: degree stream sums to {int(degs.sum())}, "
+                    f"header claims {self.header.num_directed_edges} arcs"
+                )
+            indptr = np.concatenate(([0], np.cumsum(degs)))
+            if (indptr[self._bounds] != self._first_edge).any():
+                raise StoreFormatError(
+                    f"{self._source}: first_edge index disagrees with "
+                    "the degree stream (corrupt)"
+                )
+            self._indptr = indptr
+            degs.setflags(write=False)
+            self._degrees = degs
+        return self._degrees
+
+    def indptr(self) -> np.ndarray:
+        """The full ``int64`` row-pointer array (cached)."""
+        if self._indptr is None:
+            self.degrees()
+        return self._indptr
+
+    def decode_block(self, block: int) -> tuple[np.ndarray, np.ndarray]:
+        """Decode (or fetch cached) one block's rows.
+
+        Returns ``(local_indptr, neighbors)``: ``local_indptr`` has one
+        entry per block vertex plus one, relative to the block's first
+        arc, and ``neighbors`` is the block's concatenated adjacency
+        (``int64`` absolute ids). Vertex ``v`` of block ``b`` (global
+        id ``b * block_size + i``) owns
+        ``neighbors[local_indptr[i]:local_indptr[i + 1]]``.
+        """
+        if not 0 <= block < self.header.num_blocks:
+            raise StoreFormatError(
+                f"{self._source}: block {block} out of range "
+                f"[0, {self.header.num_blocks})"
+            )
+        self.stats.block_requests += 1
+        cached = self._cache.get(block)
+        if cached is not None:
+            self.stats.block_hits += 1
+            self._cache.move_to_end(block)
+            return cached
+        lo_v, hi_v = int(self._bounds[block]), int(self._bounds[block + 1])
+        region = f"block {block}"
+        degs = decode_varints(
+            self._deg_stream[self._deg_offsets[block] : self._deg_offsets[block + 1]],
+            expected=hi_v - lo_v,
+        ).astype(np.int64)
+        arcs = int(self._first_edge[block + 1] - self._first_edge[block])
+        if int(degs.sum()) != arcs:
+            raise StoreFormatError(
+                f"{self._source}: {region}: degrees sum to {int(degs.sum())}, "
+                f"block index claims {arcs} arcs (corrupt)"
+            )
+        vals = decode_varints(
+            self._adj_stream[self._adj_offsets[block] : self._adj_offsets[block + 1]],
+            expected=arcs,
+        )
+        adj = _decode_rows(
+            vals,
+            degs,
+            lo_v,
+            self.header.num_vertices,
+            self.header.block_size,
+            source=self._source,
+            region=region,
+        )
+        local_indptr = np.concatenate(([0], np.cumsum(degs)))
+        entry = (local_indptr, adj)
+        self._cache[block] = entry
+        self.stats.blocks_decoded += 1
+        self.stats.decoded_bytes += local_indptr.nbytes + adj.nbytes
+        while len(self._cache) > self._cache_blocks:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def gather_rows(
+        self, vertices: np.ndarray, *, pool=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbour lists of ``vertices`` via block decode.
+
+        The block-path twin of
+        :func:`repro.bfs.frontier.gather_neighbors`: vertices are
+        grouped by block, each needed block is decoded once (LRU-cached
+        across calls), and the rows are scattered back into request
+        order with the same ``repeat``/``cumsum`` arithmetic the
+        in-memory gather uses. Returns ``(values, lengths)``.
+
+        ``pool`` (a duck-typed :class:`~repro.bfs.kernel.Workspace`)
+        supplies the cached ``arange`` ramp.
+        """
+        v = np.asarray(vertices, dtype=np.int64).ravel()
+        if len(v) and (int(v.min()) < 0 or int(v.max()) >= self.num_vertices):
+            raise StoreFormatError(
+                f"{self._source}: gather vertex out of range "
+                f"[0, {self.num_vertices})"
+            )
+        lengths = self.degrees()[v] if len(v) else np.empty(0, dtype=np.int64)
+        total = int(lengths.sum())
+        out = np.empty(total, dtype=np.int64)
+        if total == 0:
+            return out, lengths
+        out_prefix = np.cumsum(lengths) - lengths
+        blocks = v // self.header.block_size
+        for block in np.unique(blocks):
+            sel = np.flatnonzero(blocks == block)
+            local_indptr, adj = self.decode_block(int(block))
+            vloc = v[sel] - int(block) * self.header.block_size
+            starts = local_indptr[vloc]
+            lens = local_indptr[vloc + 1] - starts
+            tot = int(lens.sum())
+            if tot == 0:
+                continue
+            ramp = (
+                pool.arange(tot)
+                if pool is not None
+                else np.arange(tot, dtype=np.int64)
+            )
+            prefix = np.cumsum(lens) - lens
+            flat = ramp[:tot] + np.repeat(starts - prefix, lens)
+            dest = ramp[:tot] + np.repeat(out_prefix[sel] - prefix, lens)
+            out[dest] = adj[flat]
+        return out, lengths
+
+    def to_graph(self, *, verify: bool = True) -> CSRGraph:
+        """Full vectorized decode into a :class:`CSRGraph`.
+
+        The one-shot path behind :func:`load_scsr`: both streams decode
+        in single passes (no per-block loop), and with ``verify`` the
+        result is hashed and compared against the header's content
+        digest — any bit damage the structural checks missed fails
+        here instead of producing silently wrong distances.
+        """
+        degs = self.degrees()
+        indptr = self.indptr()
+        vals = decode_varints(
+            self._adj_stream, expected=self.header.num_directed_edges
+        )
+        adj = _decode_rows(
+            vals,
+            degs,
+            0,
+            self.header.num_vertices,
+            self.header.block_size,
+            source=self._source,
+            region="adjacency stream",
+        )
+        indices = adj.astype(self.header.indices_dtype)
+        if verify:
+            actual = content_digest(indptr, indices)
+            if actual != self.header.digest:
+                raise StoreFormatError(
+                    f"{self._source}: content digest mismatch after decode "
+                    f"(header {self.header.digest[:12]}…, decoded "
+                    f"{actual[:12]}…) — corrupt store"
+                )
+        return CSRGraph(
+            indptr, indices, name=self.header.name, storage=STORAGE_TAG
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the image reference and decoded caches (idempotent).
+
+        For mmap-backed stores this releases the mapping once no
+        decoded graph view references it (decoded arrays are copies,
+        never views, so closing is always safe).
+        """
+        self._cache.clear()
+        image = self._image
+        self._image = np.empty(0, dtype=np.uint8)
+        self._deg_stream = self._adj_stream = self._image
+        if isinstance(image, np.memmap):
+            try:
+                image._mmap.close()  # type: ignore[attr-defined]
+            except (AttributeError, BufferError, OSError):
+                pass
+
+    def __enter__(self) -> "CompressedCSR":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompressedCSR(name={self.name!r}, n={self.num_vertices}, "
+            f"arcs={self.num_directed_edges}, blocks={self.num_blocks}, "
+            f"{self.image_nbytes} bytes)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def save_scsr(
+    graph: CSRGraph,
+    path: str | os.PathLike,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    provenance: str = "",
+) -> StoreInfo:
+    """Encode ``graph`` into a ``.scsr`` image at ``path``.
+
+    Fully vectorized (delta computation, varint packing, and block
+    offset placement are all array passes). ``provenance`` records how
+    the vertex order was produced (e.g. ``"reorder=bfs"``) — the
+    compression ratio is a property of graph × order, and the header
+    keeps the pairing honest. The write is atomic (temp file + rename)
+    so a crash cannot leave a half-written store behind.
+    """
+    if block_size < 1:
+        raise StoreFormatError(f"block size must be >= 1, got {block_size}")
+    n = graph.num_vertices
+    m = graph.num_directed_edges
+    indptr = graph.indptr
+    degrees = np.diff(indptr)
+
+    deg_stream, deg_lengths = encode_varints(degrees.astype(np.uint64))
+
+    idx = graph.indices.astype(np.int64)
+    d = np.empty(m, dtype=np.int64)
+    if m:
+        d[0] = 0
+        d[1:] = idx[1:] - idx[:-1] - 1
+    row_starts = indptr[:-1][degrees > 0]
+    row_ids = np.flatnonzero(degrees > 0)
+    # Row-start slots hold cross-row garbage (possibly negative) until
+    # this overwrite; every other slot is a within-row gap - 1 >= 0.
+    d[row_starts] = 0
+    codes = d.astype(np.uint64)
+    if len(row_ids):
+        # First-neighbour codes chain row-to-row within a block: each
+        # block's first non-empty row anchors to its own vertex id,
+        # later rows encode against the previous non-empty row's first
+        # neighbour (consecutive rows of a locality-reordered CSR have
+        # near-identical firsts, so the chained delta is ~1 byte where
+        # the absolute one needs 2-3). Blocks stay self-contained.
+        firsts = idx[row_starts]
+        row_blocks = row_ids // block_size
+        seg_first = np.empty(len(row_ids), dtype=bool)
+        seg_first[0] = True
+        seg_first[1:] = row_blocks[1:] != row_blocks[:-1]
+        prev = np.empty(len(row_ids), dtype=np.int64)
+        prev[0] = 0
+        prev[1:] = firsts[:-1]
+        base = np.where(seg_first, row_ids, prev)
+        codes[row_starts] = zigzag_encode(firsts - base)
+    adj_stream, adj_lengths = encode_varints(codes)
+
+    bounds = _block_boundaries(n, block_size)
+    num_blocks = len(bounds) - 1
+    first_edge = indptr[bounds].astype(np.uint64)
+    deg_cum = np.concatenate(([0], np.cumsum(deg_lengths)))
+    adj_cum = np.concatenate(([0], np.cumsum(adj_lengths)))
+    deg_offsets = deg_cum[bounds].astype(np.uint64)
+    adj_offsets = adj_cum[indptr[bounds]].astype(np.uint64)
+
+    header = StoreHeader(
+        num_vertices=n,
+        num_directed_edges=m,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        indices_dtype=graph.indices.dtype,
+        digest=content_digest(graph.indptr, graph.indices),
+        name=graph.name,
+        provenance=provenance,
+    )
+    payload = b"".join(
+        (
+            pack_header(header),
+            np.ascontiguousarray(first_edge, dtype="<u8").tobytes(),
+            np.ascontiguousarray(deg_offsets, dtype="<u8").tobytes(),
+            np.ascontiguousarray(adj_offsets, dtype="<u8").tobytes(),
+            deg_stream.tobytes(),
+            adj_stream.tobytes(),
+        )
+    )
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash cleanup
+            os.unlink(tmp)
+    return StoreInfo(
+        path=path,
+        nbytes=len(payload),
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        num_directed_edges=m,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        provenance=provenance,
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def open_scsr(
+    path: str | os.PathLike, *, cache_blocks: int = DEFAULT_CACHE_BLOCKS
+) -> CompressedCSR:
+    """Open a ``.scsr`` file as a block-decodable handle (mmap, zero-copy)."""
+    return CompressedCSR.open(path, cache_blocks=cache_blocks)
+
+
+def load_scsr(
+    path: str | os.PathLike, *, mmap: bool = False, verify: bool = True
+) -> CSRGraph:
+    """Load a ``.scsr`` file into a :class:`CSRGraph`.
+
+    The decoded graph carries ``storage="{tag}"`` so its
+    :func:`~repro.graph.io.graph_digest` — and with it every warm-start
+    sidecar — is distinct from an ``.npz`` load of the same arrays.
+
+    With ``mmap=True`` the compressed image stays memory-mapped and
+    attached as the graph's :attr:`~repro.graph.csr.CSRGraph.backing_store`:
+    the traversal kernel can then route level-capped expansions through
+    per-block decoding, and :class:`~repro.parallel.shm.SharedCSR`
+    ships the compressed image (not the decoded arrays) to worker
+    processes. With ``mmap=False`` the store is closed after the
+    decode and the graph is indistinguishable from any in-memory CSR
+    apart from its storage tag.
+    """
+    store = open_scsr(path)
+    try:
+        graph = store.to_graph(verify=verify)
+    except Exception:
+        store.close()
+        raise
+    if mmap:
+        object.__setattr__(graph, "_backing", store)
+    else:
+        store.close()
+    return graph
+
+
+load_scsr.__doc__ = load_scsr.__doc__.format(tag=STORAGE_TAG)
+
+# Re-exported for introspection parity with the format module.
+SCHEMA_VERSION = FORMAT_VERSION

@@ -1,0 +1,140 @@
+"""Vectorized LEB128 varint and zigzag codecs.
+
+The byte-level substrate of the ``.scsr`` compressed store
+(:mod:`repro.store.scsr`). Values are encoded little-endian,
+7 bits per byte, high bit set on every byte except the last —
+the WebGraph/protobuf varint. Both directions are pure NumPy:
+
+* **encode** computes every value's byte length up front (at most 9
+  comparisons against powers of ``2**7``), lays the output positions
+  out with a ``cumsum``, and writes byte position ``k`` of every
+  still-active value in one masked assignment — ``O(total_bytes)``
+  compiled work, no Python-level per-value loop.
+* **decode** finds value boundaries from the continuation bits, shifts
+  each payload byte by ``7 * (position within its value)``, and sums
+  the per-value contributions with ``np.add.reduceat``.
+
+Signed first-neighbour deltas ride on the standard zigzag mapping
+(``0, -1, 1, -2, ...`` → ``0, 1, 2, 3, ...``) so small magnitudes of
+either sign stay one byte. Values are capped at ``2**63 - 1`` (9
+encoded bytes): CSR gaps and degrees never approach that, and the cap
+is what lets the decoder bound a varint's length and call a 10-byte
+run corrupt instead of silently wrapping ``uint64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+
+__all__ = [
+    "MAX_VARINT_BYTES",
+    "varint_lengths",
+    "encode_varints",
+    "decode_varints",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+#: Longest legal encoding: ``ceil(63 / 7)`` bytes for values < 2**63.
+MAX_VARINT_BYTES = 9
+
+_SEVEN = np.uint64(7)
+_PAYLOAD = np.uint64(0x7F)
+_CONTINUE = np.uint8(0x80)
+
+
+def varint_lengths(values: np.ndarray) -> np.ndarray:
+    """Encoded byte length of every value (``int64`` array).
+
+    ``values`` must be ``uint64`` with every entry below ``2**63``;
+    larger entries raise (they would need a 10th byte).
+    """
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if len(v) and int(v.max()) >= 1 << 63:
+        raise StoreFormatError(
+            f"varint value {int(v.max())} exceeds the 2**63 - 1 cap"
+        )
+    lengths = np.ones(len(v), dtype=np.int64)
+    for k in range(1, MAX_VARINT_BYTES):
+        lengths += v >= np.uint64(1 << (7 * k))
+    return lengths
+
+
+def encode_varints(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode ``values`` (``uint64``) into one varint byte stream.
+
+    Returns ``(stream, lengths)`` — the concatenated ``uint8`` stream
+    and the per-value byte counts (so callers can place block
+    boundaries with a ``cumsum`` instead of re-scanning the stream).
+    """
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    lengths = varint_lengths(v)
+    total = int(lengths.sum())
+    stream = np.empty(total, dtype=np.uint8)
+    starts = np.cumsum(lengths) - lengths
+    remaining = v.copy()
+    max_len = int(lengths.max()) if len(lengths) else 0
+    for k in range(max_len):
+        active = lengths > k
+        byte = (remaining[active] & _PAYLOAD).astype(np.uint8)
+        byte[lengths[active] > k + 1] |= _CONTINUE
+        stream[starts[active] + k] = byte
+        remaining >>= _SEVEN
+    return stream, lengths
+
+
+def decode_varints(stream: np.ndarray, expected: int | None = None) -> np.ndarray:
+    """Decode a varint byte stream back into a ``uint64`` array.
+
+    ``expected`` (when given) is the number of values the stream must
+    contain; a mismatch, a trailing continuation byte, or a run longer
+    than :data:`MAX_VARINT_BYTES` raises :class:`StoreFormatError` —
+    the caller's corruption signal.
+    """
+    buf = np.ascontiguousarray(stream, dtype=np.uint8)
+    if len(buf) == 0:
+        if expected not in (None, 0):
+            raise StoreFormatError(
+                f"varint stream is empty, expected {expected} values"
+            )
+        return np.empty(0, dtype=np.uint64)
+    cont = (buf & _CONTINUE) != 0
+    if cont[-1]:
+        raise StoreFormatError("varint stream ends mid-value (truncated)")
+    is_start = np.empty(len(buf), dtype=bool)
+    is_start[0] = True
+    is_start[1:] = ~cont[:-1]
+    starts = np.flatnonzero(is_start)
+    if expected is not None and len(starts) != expected:
+        raise StoreFormatError(
+            f"varint stream holds {len(starts)} values, expected {expected}"
+        )
+    positions = np.arange(len(buf), dtype=np.int64)
+    within = positions - starts[np.cumsum(is_start) - 1]
+    if int(within.max()) >= MAX_VARINT_BYTES:
+        raise StoreFormatError(
+            f"varint run of {int(within.max()) + 1} bytes exceeds the "
+            f"{MAX_VARINT_BYTES}-byte cap (corrupt stream)"
+        )
+    contrib = (buf.astype(np.uint64) & _PAYLOAD) << (
+        _SEVEN * within.astype(np.uint64)
+    )
+    return np.add.reduceat(contrib, starts)
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed ``int64`` deltas onto small unsigned ``uint64`` codes."""
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    return (v.astype(np.uint64) << np.uint64(1)) ^ (v >> np.int64(63)).astype(
+        np.uint64
+    )
+
+
+def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.ascontiguousarray(codes, dtype=np.uint64)
+    return (u >> np.uint64(1)).astype(np.int64) ^ -(
+        (u & np.uint64(1)).astype(np.int64)
+    )

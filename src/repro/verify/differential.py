@@ -3,10 +3,11 @@
 Every independently-toggleable axis the solver has grown — BFS engine
 (top-down/bottom-up hybrid, serial, bit-parallel), the ``--prep``
 reduction pipeline, lane batching, chain-tip batching, vertex order,
-the ablation switches, the warm-start cache, and the batched query
-engine — is run on the same sampled graph, with the invariant oracle
-attached, and compared against reference BFS distances plus two
-independent baselines (naive APSP and iFUB). Any disagreement on the
+the ablation switches, the warm-start cache, the batched query
+engine, and the backing storage format (in-memory CSR vs the
+block-compressed ``.scsr`` store) — is run on the same sampled graph,
+with the invariant oracle attached, and compared against reference
+BFS distances plus two independent baselines (naive APSP and iFUB). Any disagreement on the
 diameter, the connectivity/infinity flag, an eccentricity, or a
 per-query distance is reported as a :class:`Disagreement`, which the
 fuzz runner then shrinks into a replayable artifact.
@@ -186,7 +187,14 @@ def run_trial(
     )
 
     # ------------------------------------------------------------------
-    # 5. Metamorphic relations.
+    # 5. Storage-format axis: the .scsr round trip must be bit-exact
+    #    and answer-identical, and must not share a cache key with the
+    #    in-memory load.
+    # ------------------------------------------------------------------
+    disagreements.extend(_check_store(graph, ref_diameter, ref_connected))
+
+    # ------------------------------------------------------------------
+    # 6. Metamorphic relations.
     # ------------------------------------------------------------------
     if metamorphic:
         from repro.verify.metamorphic import (
@@ -238,6 +246,60 @@ def _check_cache(
                     f"verified={warm_info.verified}",
                 )
             )
+    return found
+
+
+def _check_store(
+    graph: CSRGraph, ref_diameter: int, ref_connected: bool
+) -> list[Disagreement]:
+    import os
+
+    from repro.graph.io import graph_digest
+    from repro.store import load_scsr, save_scsr
+
+    found: list[Disagreement] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-store-") as root:
+        path = os.path.join(root, "trial.scsr")
+        try:
+            # Tiny blocks so even few-vertex fuzz graphs span several
+            # blocks and exercise the chained first-neighbour resets.
+            save_scsr(graph, path, block_size=4)
+            eager = load_scsr(path)
+            mapped = load_scsr(path, mmap=True)
+        except ReproError as exc:
+            return [Disagreement("store", f"{type(exc).__name__}: {exc}")]
+        for label, loaded in (("store/eager", eager), ("store/mmap", mapped)):
+            if not (
+                np.array_equal(loaded.indptr, graph.indptr)
+                and np.array_equal(loaded.indices, graph.indices)
+            ):
+                found.append(
+                    Disagreement(label, "decoded CSR arrays differ from source")
+                )
+                continue
+            if graph_digest(loaded) == graph_digest(graph):
+                found.append(
+                    Disagreement(
+                        label,
+                        "cache key collides with the in-memory load "
+                        "(storage tag missing from graph_digest)",
+                    )
+                )
+            if loaded.num_vertices == 0:
+                continue
+            try:
+                result = fdiam(loaded, FDiamConfig())
+            except ReproError as exc:
+                found.append(
+                    Disagreement(label, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            found.extend(
+                _check_result(label, result, ref_diameter, ref_connected)
+            )
+        backing = mapped.backing_store
+        if backing is not None:
+            backing.close()
     return found
 
 

@@ -1,0 +1,99 @@
+"""Storage-format axis of the cache key (regression).
+
+``graph_digest`` folds ``CSRGraph.storage`` into the hash, so a graph
+loaded from a ``.scsr`` store and the byte-identical graph loaded from
+an ``.npz`` archive (or built in memory) can never share a warm-start
+sidecar. Before this field existed the two loads collided: a sidecar
+written against one container could warm-start the other, coupling
+cache trust to the storage path that produced the arrays.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cache import WarmStartStore, fdiam_cached
+from repro.generators.registry import build_fuzz_graph
+from repro.graph.io import content_digest, graph_digest, read_graph, save_npz
+from repro.store import STORAGE_TAG, save_scsr
+
+
+@pytest.fixture
+def graph():
+    g, _family = build_fuzz_graph(41, max_vertices=48)
+    return g
+
+
+@pytest.fixture
+def both_loads(tmp_path, graph):
+    """The same graph through its two on-disk containers."""
+    npz, scsr = tmp_path / "g.npz", tmp_path / "g.scsr"
+    save_npz(graph, npz)
+    save_scsr(graph, scsr)
+    return read_graph(npz), read_graph(scsr)
+
+
+class TestDigestSeparation:
+    def test_same_arrays_different_digest(self, both_loads):
+        from_npz, from_scsr = both_loads
+        assert np.array_equal(from_npz.indptr, from_scsr.indptr)
+        assert np.array_equal(from_npz.indices, from_scsr.indices)
+        assert from_npz.storage == "csr"
+        assert from_scsr.storage == STORAGE_TAG
+        assert graph_digest(from_npz) != graph_digest(from_scsr)
+
+    def test_content_digest_is_storage_independent(self, both_loads):
+        """The *content* digest (what the .scsr header records) must
+        stay equal across containers — only the cache key splits."""
+        from_npz, from_scsr = both_loads
+        assert content_digest(
+            from_npz.indptr, from_npz.indices
+        ) == content_digest(from_scsr.indptr, from_scsr.indices)
+
+    def test_in_memory_matches_npz_digest(self, tmp_path, graph):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert graph_digest(graph) == graph_digest(read_graph(path))
+
+    def test_storage_tag_survives_with_name(self, both_loads):
+        _, from_scsr = both_loads
+        renamed = from_scsr.with_name("renamed")
+        assert renamed.storage == STORAGE_TAG
+        assert graph_digest(renamed) == graph_digest(from_scsr)
+
+
+class TestWarmStartNoCollision:
+    def test_sidecars_do_not_cross_formats(self, tmp_path, both_loads):
+        """A sidecar written for the .npz load must be a miss for the
+        .scsr load (and vice versa), and both answers must agree."""
+        from_npz, from_scsr = both_loads
+        store = WarmStartStore(tmp_path / "cache")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a distrust warning = collision
+            npz_cold, info = fdiam_cached(from_npz, store=store)
+            assert info.saved and not info.hit
+            scsr_cold, info = fdiam_cached(from_scsr, store=store)
+            assert not info.hit  # regression: must NOT see npz's sidecar
+            assert info.saved
+            # Each format now warm-hits its own sidecar.
+            npz_warm, info = fdiam_cached(from_npz, store=store)
+            assert info.hit and info.verified
+            scsr_warm, info = fdiam_cached(from_scsr, store=store)
+            assert info.hit and info.verified
+        answers = {
+            (r.diameter, r.infinite)
+            for r in (npz_cold, scsr_cold, npz_warm, scsr_warm)
+        }
+        assert len(answers) == 1
+
+    def test_distinct_sidecar_files_on_disk(self, tmp_path, both_loads):
+        from_npz, from_scsr = both_loads
+        store = WarmStartStore(tmp_path / "cache")
+        fdiam_cached(from_npz, store=store)
+        fdiam_cached(from_scsr, store=store)
+        assert store.path_for(graph_digest(from_npz)).exists()
+        assert store.path_for(graph_digest(from_scsr)).exists()
+        assert graph_digest(from_npz) != graph_digest(from_scsr)

@@ -1,0 +1,126 @@
+"""Round-trip tests for the ``.scsr`` block-compressed store.
+
+The contract is bit-exactness: for every graph the package can build,
+``save_scsr`` → ``load_scsr`` must reproduce the original ``indptr``
+and ``indices`` arrays exactly (values, dtype, and shape), at every
+block size, through both the eager and the mmap loading paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.registry import build_analog, build_fuzz_graph
+from repro.graph.build import from_edges
+from repro.store import (
+    DEFAULT_BLOCK_SIZE,
+    CompressedCSR,
+    load_scsr,
+    open_scsr,
+    save_scsr,
+)
+
+
+def _assert_same_arrays(loaded, original):
+    assert loaded.indptr.dtype == original.indptr.dtype
+    assert loaded.indices.dtype == original.indices.dtype
+    assert np.array_equal(loaded.indptr, original.indptr)
+    assert np.array_equal(loaded.indices, original.indices)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("block_size", [1, 3, DEFAULT_BLOCK_SIZE])
+    def test_fuzz_graphs_bit_identical(self, tmp_path, seed, block_size):
+        graph, _family = build_fuzz_graph(seed, max_vertices=48)
+        path = tmp_path / "g.scsr"
+        save_scsr(graph, path, block_size=block_size)
+        _assert_same_arrays(load_scsr(path), graph)
+
+    def test_paper_analog_round_trips(self, tmp_path):
+        graph = build_analog("internet")
+        path = tmp_path / "internet.scsr"
+        info = save_scsr(graph, path, provenance="reorder=none")
+        loaded = load_scsr(path)
+        _assert_same_arrays(loaded, graph)
+        assert loaded.name == graph.name
+        assert info.num_vertices == graph.num_vertices
+        assert info.num_edges == graph.num_edges
+        assert info.num_directed_edges == graph.num_directed_edges
+        assert info.nbytes == path.stat().st_size
+        assert info.bytes_per_edge == info.nbytes / graph.num_edges
+
+    def test_empty_graph(self, tmp_path):
+        graph = from_edges([], 0, "empty")
+        path = tmp_path / "empty.scsr"
+        save_scsr(graph, path)
+        loaded = load_scsr(path)
+        assert loaded.num_vertices == 0
+        _assert_same_arrays(loaded, graph)
+
+    def test_isolated_vertices_only(self, tmp_path):
+        graph = from_edges([], 5, "isolated")
+        path = tmp_path / "iso.scsr"
+        save_scsr(graph, path, block_size=2)
+        loaded = load_scsr(path)
+        assert loaded.num_vertices == 5
+        assert loaded.num_edges == 0
+        _assert_same_arrays(loaded, graph)
+
+    def test_mmap_load_matches_eager(self, tmp_path):
+        graph, _ = build_fuzz_graph(3, max_vertices=48)
+        path = tmp_path / "g.scsr"
+        save_scsr(graph, path, block_size=4)
+        eager = load_scsr(path)
+        mapped = load_scsr(path, mmap=True)
+        _assert_same_arrays(mapped, eager)
+        assert eager.backing_store is None
+        backing = mapped.backing_store
+        assert isinstance(backing, CompressedCSR)
+        backing.close()
+
+    def test_from_buffer_matches_file(self, tmp_path):
+        """The image parses identically from a raw byte buffer — the
+        path the shared-memory compressed-image transport relies on."""
+        graph, _ = build_fuzz_graph(9, max_vertices=48)
+        path = tmp_path / "g.scsr"
+        save_scsr(graph, path, block_size=4)
+        store = CompressedCSR.from_buffer(path.read_bytes())
+        _assert_same_arrays(store.to_graph(), graph)
+
+
+class TestHeaderMetadata:
+    def test_provenance_and_name_survive(self, tmp_path):
+        graph, _ = build_fuzz_graph(5, max_vertices=32)
+        path = tmp_path / "g.scsr"
+        save_scsr(graph, path, provenance="reorder=bfs")
+        with open_scsr(path) as store:
+            assert store.provenance == "reorder=bfs"
+            assert store.name == graph.name
+
+    def test_storage_tag_set_on_decoded_graph(self, tmp_path):
+        graph, _ = build_fuzz_graph(5, max_vertices=32)
+        assert graph.storage == "csr"
+        path = tmp_path / "g.scsr"
+        save_scsr(graph, path)
+        assert load_scsr(path).storage == "scsr:v1"
+
+    def test_block_count_matches_block_size(self, tmp_path):
+        graph, _ = build_fuzz_graph(7, max_vertices=48)
+        path = tmp_path / "g.scsr"
+        info = save_scsr(graph, path, block_size=5)
+        expected = -(-graph.num_vertices // 5)
+        assert info.num_blocks == expected
+        with open_scsr(path) as store:
+            assert store.num_blocks == expected
+            assert store.block_size == 5
+
+    def test_atomic_write_replaces_in_place(self, tmp_path):
+        g1, _ = build_fuzz_graph(1, max_vertices=32)
+        g2, _ = build_fuzz_graph(2, max_vertices=32)
+        path = tmp_path / "g.scsr"
+        save_scsr(g1, path)
+        save_scsr(g2, path)
+        _assert_same_arrays(load_scsr(path), g2)
+        assert list(tmp_path.iterdir()) == [path]  # no temp files left
