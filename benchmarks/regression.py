@@ -34,6 +34,11 @@ import tempfile
 import time
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
@@ -47,6 +52,7 @@ from repro.core.fdiam import fdiam  # noqa: E402
 from repro.bfs.kernel import TraversalKernel  # noqa: E402
 from repro.graph.io import save_npz  # noqa: E402
 from repro.harness.workloads import get_workload  # noqa: E402
+from repro.parallel.costmodel import LevelSynchronousCostModel  # noqa: E402
 from repro.parallel.scaling import ScalingStudy  # noqa: E402
 from repro.prep.reorder import ORDER_STRATEGIES, apply_order  # noqa: E402
 from repro.query import QueryEngine  # noqa: E402
@@ -333,7 +339,190 @@ def _stage_sumsweep(graph, repeats, lanes):
     }
 
 
-#: name -> (callable(graph, repeats) -> counters, include_in_smoke)
+def _peak_rss_mb() -> float | None:
+    """Process high-water RSS in MB (``ru_maxrss`` is KiB on Linux)."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return round(peak / 1024, 1)
+
+
+#: The 10^7-edge out-of-core tier: pinned chunk size for the streaming
+#: encoder and pinned budget points for the budgeted-execution battery.
+SCALE_GRAPHS = ("road-10M", "powerlaw-10M")
+SCALE_CHUNK_EDGES = 1 << 20
+SCALE_BATTERY_SOURCES = 3
+
+
+def _scale_store_stream_encode(graph):
+    """One-shot vs streaming encode of a 10^7-edge analog.
+
+    Both paths must produce byte-identical images (the format pins the
+    block-aligned layout), and the streaming encoder's peak scratch
+    must stay under 2x the chunk's share of the one-shot peak plus the
+    offset-index overhead — the tentpole's O(chunk) bound, asserted
+    here so a scratch regression fails the suite rather than quietly
+    re-materializing the graph. Walls are single-shot (no warmup): at
+    this scale the encode cost dwarfs warmup noise.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        t0 = time.perf_counter()
+        one = save_scsr(graph, root / "one.scsr")
+        wall_oneshot = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        stream = save_scsr(
+            graph, root / "stream.scsr", chunk_edges=SCALE_CHUNK_EDGES
+        )
+        wall_stream = time.perf_counter() - t0
+        identical = (root / "one.scsr").read_bytes() == (
+            root / "stream.scsr"
+        ).read_bytes()
+    if not identical:
+        raise AssertionError(
+            f"{graph.name}: streaming encode is not byte-identical to "
+            "the one-shot encode"
+        )
+    per_arc = one.encoder_peak_bytes / max(one.num_directed_edges, 1)
+    peak_bound = int(2 * per_arc * SCALE_CHUNK_EDGES) + 4 * 8 * (
+        one.num_blocks + 1
+    )
+    if stream.encoder_peak_bytes >= peak_bound:
+        raise AssertionError(
+            f"{graph.name}: streaming encoder peak "
+            f"{stream.encoder_peak_bytes:,} B breaches the O(chunk) "
+            f"bound {peak_bound:,} B"
+        )
+    return {
+        "wall_s": wall_stream,
+        "wall_s_oneshot": wall_oneshot,
+        "chunk_edges": SCALE_CHUNK_EDGES,
+        "scsr_bytes": stream.nbytes,
+        "bytes_per_edge": round(stream.bytes_per_edge, 3),
+        "encoder_peak_bytes": stream.encoder_peak_bytes,
+        "encoder_peak_bytes_oneshot": one.encoder_peak_bytes,
+        "encoder_peak_bound_bytes": peak_bound,
+        "encoder_peak_ratio_vs_oneshot": round(
+            stream.encoder_peak_bytes / max(one.encoder_peak_bytes, 1), 4
+        ),
+        "byte_identical": True,
+    }
+
+
+def _scale_fdiam_budgeted(graph):
+    """Memory-budgeted traversal battery on a 10^7-edge analog.
+
+    A full budget-mode ``fdiam`` at this scale is wall-prohibitive
+    (hundreds of budgeted sweeps), so the stage measures what the
+    budget actually changes — the kernel's gather path — with a pinned
+    eccentricity battery (the unit fdiam repeats ~100x): the same
+    sources run in-memory and then against the mapped store at three
+    budget points spanning the routing regimes. Every run must report
+    bit-identical eccentricities; at the extreme budgets the forced
+    alternative mode is also timed and the cost model's choice must be
+    the fastest measured (15% headroom absorbs timer noise).
+    """
+    sources = [
+        (k * graph.num_vertices) // SCALE_BATTERY_SOURCES
+        for k in range(SCALE_BATTERY_SOURCES)
+    ]
+
+    def battery(kernel):
+        t0 = time.perf_counter()
+        eccs = [kernel.bfs(s).eccentricity for s in sources]
+        return time.perf_counter() - t0, eccs
+
+    wall_memory, eccs_memory = battery(TraversalKernel(graph))
+    out = {
+        "battery_sources": sources,
+        "eccentricity": max(eccs_memory),
+        "wall_memory_s": wall_memory,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.scsr"
+        save_scsr(graph, path, chunk_edges=SCALE_CHUNK_EDGES)
+        probe = load_scsr(path, mmap=True)
+        decoded = probe.indptr.nbytes + probe.indices.nbytes
+        probe.backing_store.close()
+        out["decoded_bytes"] = decoded
+        out["decoded_bytes_per_edge"] = round(
+            decoded / max(graph.num_edges, 1), 3
+        )
+        points = (
+            ("ample", 4 * decoded),
+            ("quarter", decoded // 4),
+            ("floor", 1 << 16),
+        )
+        model = LevelSynchronousCostModel()
+        for label, budget in points:
+            mode, reason = model.choose_memory_mode(
+                decoded_bytes=decoded, budget_bytes=budget
+            )
+            # Fresh mapping per point: no cache or counter carry-over.
+            loaded = load_scsr(path, mmap=True)
+            try:
+                kernel = TraversalKernel(loaded, memory_budget=budget)
+                if kernel.memory_mode != mode:
+                    raise AssertionError(
+                        f"{graph.name}: kernel resolved "
+                        f"{kernel.memory_mode!r} at budget {budget:,} B, "
+                        f"cost model chose {mode!r}"
+                    )
+                wall, eccs = battery(kernel)
+                stats = loaded.backing_store.stats
+                out[f"budget_{label}_bytes"] = budget
+                out[f"budget_{label}_mode"] = mode
+                out[f"budget_{label}_mode_reason"] = reason
+                out[f"budget_{label}_wall_s"] = wall
+                out[f"budget_{label}_wall_ratio_vs_memory"] = round(
+                    wall / max(wall_memory, 1e-9), 3
+                )
+                out[f"budget_{label}_thrash_rate"] = round(
+                    stats.thrash_rate, 4
+                )
+                out[f"budget_{label}_decode_mb_s"] = round(
+                    stats.decode_bandwidth / 2**20, 1
+                )
+                if eccs != eccs_memory:
+                    raise AssertionError(
+                        f"{graph.name}: budget {budget:,} B ({mode}) "
+                        f"eccentricities {eccs} != in-memory {eccs_memory}"
+                    )
+                # Extreme budgets: force the block mode the model did
+                # NOT choose, so its pick is checked against a measured
+                # alternative (decode's superiority needs no contest).
+                if label in ("ample", "floor"):
+                    alt = "stream" if mode == "cached" else "cached"
+                    forced = load_scsr(path, mmap=True)
+                    try:
+                        fkernel = TraversalKernel(
+                            forced,
+                            memory_budget=budget,
+                            memory_mode=alt,
+                        )
+                        fwall, feccs = battery(fkernel)
+                    finally:
+                        forced.backing_store.close()
+                    if feccs != eccs_memory:
+                        raise AssertionError(
+                            f"{graph.name}: forced {alt} at budget "
+                            f"{budget:,} B diverged: {feccs}"
+                        )
+                    out[f"budget_{label}_forced_{alt}_wall_s"] = fwall
+                    if wall > fwall * 1.15:
+                        raise AssertionError(
+                            f"{graph.name}: cost model chose {mode!r} at "
+                            f"budget {budget:,} B but forced {alt} ran "
+                            f"{fwall:.2f}s vs {wall:.2f}s"
+                        )
+            finally:
+                loaded.backing_store.close()
+    out["wall_s"] = out["budget_quarter_wall_s"]
+    return out
+
+
 STAGES = {
     "bfs_hybrid": (_stage_bfs_hybrid, True),
     "fdiam": (_stage_fdiam, True),
@@ -383,7 +572,9 @@ def run_suite(
                 continue
             key = f"{name}/{stage}"
             print(f"  running {key} ...", flush=True)
-            snapshot["stages"][key] = fn(graph, repeats)
+            record = fn(graph, repeats)
+            record["peak_rss_mb"] = _peak_rss_mb()
+            snapshot["stages"][key] = record
         plain = snapshot["stages"].get(f"{name}/fdiam")
         prep = snapshot["stages"].get(f"{name}/fdiam_prep")
         if plain and prep:
@@ -417,6 +608,30 @@ def run_suite(
             lanes["edge_ratio_vs_scalar"] = round(
                 scalar["edges_examined"] / max(lanes["edges_examined"], 1), 3
             )
+    if not smoke and graphs is None:
+        # The 10^7-edge out-of-core tier: streaming-encode both scale
+        # analogs, then the budgeted-execution battery on the
+        # small-diameter one (road's ~1300-level sweeps would measure
+        # Python level overhead, not the memory modes).  Skipped when an
+        # explicit graph list is given — that means "just these graphs".
+        for name in SCALE_GRAPHS:
+            workload = get_workload(name)
+            graph = workload.graph
+            snapshot["graphs"][name] = {
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+            }
+            key = f"{name}/store_stream_encode"
+            print(f"  running {key} ...", flush=True)
+            record = _scale_store_stream_encode(graph)
+            record["peak_rss_mb"] = _peak_rss_mb()
+            snapshot["stages"][key] = record
+            if name == "powerlaw-10M":
+                key = f"{name}/fdiam_budgeted"
+                print(f"  running {key} ...", flush=True)
+                record = _scale_fdiam_budgeted(graph)
+                record["peak_rss_mb"] = _peak_rss_mb()
+                snapshot["stages"][key] = record
     return snapshot
 
 
@@ -576,6 +791,67 @@ def bytes_per_edge_check(
     return 1
 
 
+def out_of_core_check(graph_name: str = "road-1M") -> int:
+    """CI gate for budgeted execution (``--out-of-core-check``).
+
+    Solves the million-vertex road analog in memory, BFS-reorders it
+    (the locality pass every out-of-core pipeline runs before writing
+    a block store), saves the ``.scsr`` image with the streaming
+    encoder, and re-solves against the mapped image with the block
+    cache capped to 1/8 of the image — far below the decoded size, so
+    the kernel runs in a budget mode end to end. The gate fails unless
+    the budgeted run lands in a budget mode, its diameter matches the
+    in-memory answer exactly, and the cache never grew past its cap.
+    """
+    graph = get_workload(graph_name).graph
+    mem = fdiam(graph, FDiamConfig(prep="auto"))
+    ordered = apply_order(
+        graph, ORDER_STRATEGIES["bfs"](graph), name=graph.name
+    ).graph
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.scsr"
+        info = save_scsr(
+            ordered, path, chunk_edges=SCALE_CHUNK_EDGES,
+            provenance="reorder=bfs",
+        )
+        budget = info.nbytes // 8
+        loaded = load_scsr(path, mmap=True)
+        try:
+            t0 = time.perf_counter()
+            res = fdiam(
+                loaded, FDiamConfig(prep="auto", memory_budget=budget)
+            )
+            wall = time.perf_counter() - t0
+            store = loaded.backing_store
+            mode, _ = LevelSynchronousCostModel().choose_memory_mode(
+                decoded_bytes=loaded.indptr.nbytes + loaded.indices.nbytes,
+                budget_bytes=budget,
+            )
+            resident = store.cache_resident_bytes
+            stats = store.stats
+            line = (
+                f"{graph_name}: budget {budget:,} B (1/8 of "
+                f"{info.nbytes:,} B image), mode {mode}, diameter "
+                f"{res.diameter} vs in-memory {mem.diameter}, "
+                f"{wall:.1f}s, hit rate {stats.hit_rate:.2f}, thrash "
+                f"{stats.thrash_rate:.2f}, resident {resident:,} B"
+            )
+        finally:
+            loaded.backing_store.close()
+    ok = (
+        mode in ("cached", "stream")
+        and res.diameter == mem.diameter
+        # The decode path may overshoot by the one just-inserted entry
+        # (a block bigger than the whole budget must stay servable).
+        and resident <= 2 * budget
+    )
+    if ok:
+        print(f"out-of-core-check OK: {line}")
+        return 0
+    print(f"OUT-OF-CORE-CHECK FAIL: {line}", file=sys.stderr)
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -624,6 +900,13 @@ def main(argv=None) -> int:
         "road analog only (scsr >= 3x smaller than uncompressed npz "
         "after bfs reorder; no snapshot written)",
     )
+    parser.add_argument(
+        "--out-of-core-check",
+        action="store_true",
+        help="budgeted-execution assertion on the million-vertex road "
+        "analog only (block cache capped to 1/8 of the image; budgeted "
+        "diameter must match in-memory; no snapshot written)",
+    )
     args = parser.parse_args(argv)
 
     if args.warm_check:
@@ -632,6 +915,8 @@ def main(argv=None) -> int:
         return scaling_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.bytes_per_edge_check:
         return bytes_per_edge_check()
+    if args.out_of_core_check:
+        return out_of_core_check()
 
     date = args.date or _dt.date.today().isoformat()
     print(f"benchmark regression suite ({'smoke' if args.smoke else 'full'}) ...")

@@ -162,6 +162,8 @@ class WorkspaceStats:
     store_blocks_decoded: int = 0
     store_decoded_bytes: int = 0
     store_block_evictions: int = 0
+    store_redecoded_blocks: int = 0
+    store_decode_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -449,6 +451,25 @@ class TraversalKernel:
         routes every scalar expansion through the blocks (the
         equivalence tests); ``"off"`` never touches the store. Either
         way the results are bit-identical.
+    memory_budget:
+        Optional byte cap on decoded-block scratch for store-backed
+        graphs. With ``memory_mode="auto"`` the cost model's
+        :meth:`~repro.parallel.costmodel.LevelSynchronousCostModel.choose_memory_mode`
+        resolves it to one of the execution modes below; without a
+        backing store the budget is trivially satisfied (the decoded
+        arrays already exist) and the kernel stays on ``"decode"``.
+    memory_mode:
+        Memory-pressure execution mode; ``"auto"`` (default) derives it
+        from ``memory_budget``. Resolved values: ``"decode"`` — use
+        the decoded arrays (plus the cost-model-routed block path of
+        ``block_gather``); ``"cached"`` — route *every* scalar
+        expansion through the store's block cache, byte-capped at the
+        budget; ``"stream"`` — ditto, but decoded blocks are never
+        retained, so decoded scratch is bounded by one frontier's
+        blocks. Forcing ``"cached"`` / ``"stream"`` requires a
+        store-backed graph. All modes produce bit-identical traversal
+        results; only ``edges_examined`` accounting may differ (budget
+        modes never run bottom-up steps).
     """
 
     __slots__ = (
@@ -460,6 +481,8 @@ class TraversalKernel:
         "deadline",
         "batch_lanes",
         "block_gather",
+        "memory_budget",
+        "memory_mode",
         "_block_store",
         "_store_mark",
     )
@@ -475,6 +498,8 @@ class TraversalKernel:
         deadline: float | None = None,
         batch_lanes: int = 0,
         block_gather: str = "auto",
+        memory_budget: int | None = None,
+        memory_mode: str = "auto",
     ):
         self.graph = graph
         self.engine = engine
@@ -499,6 +524,40 @@ class TraversalKernel:
         self._block_store = (
             graph.backing_store if block_gather != "off" else None
         )
+        if memory_mode not in ("auto", "decode", "cached", "stream"):
+            raise AlgorithmError(
+                f"memory_mode must be 'auto', 'decode', 'cached', or "
+                f"'stream', got {memory_mode!r}"
+            )
+        if memory_budget is not None and memory_budget < 0:
+            raise AlgorithmError(
+                f"memory_budget must be >= 0, got {memory_budget}"
+            )
+        self.memory_budget = memory_budget
+        if memory_mode == "auto":
+            if memory_budget is None or self._block_store is None:
+                resolved = "decode"
+            else:
+                from repro.parallel.costmodel import LevelSynchronousCostModel
+
+                decoded = graph.indptr.nbytes + graph.indices.nbytes
+                resolved, _ = LevelSynchronousCostModel().choose_memory_mode(
+                    decoded_bytes=decoded, budget_bytes=memory_budget
+                )
+        else:
+            resolved = memory_mode
+            if resolved in ("cached", "stream") and self._block_store is None:
+                raise AlgorithmError(
+                    f"memory_mode {resolved!r} requires a store-backed "
+                    "graph (a .scsr loaded with mmap=True)"
+                )
+        self.memory_mode = resolved
+        if (
+            resolved == "cached"
+            and memory_budget is not None
+            and self._block_store is not None
+        ):
+            self._block_store.set_cache_budget(memory_budget)
         if self._block_store is not None:
             st = self._block_store.stats
             self._store_mark = (
@@ -507,9 +566,11 @@ class TraversalKernel:
                 st.blocks_decoded,
                 st.decoded_bytes,
                 st.evictions,
+                st.redecoded_blocks,
+                st.decode_seconds,
             )
         else:
-            self._store_mark = (0, 0, 0, 0, 0)
+            self._store_mark = (0, 0, 0, 0, 0, 0, 0.0)
 
     # ------------------------------------------------------------------
     # Compressed-store gather path
@@ -548,6 +609,8 @@ class TraversalKernel:
             st.blocks_decoded,
             st.decoded_bytes,
             st.evictions,
+            st.redecoded_blocks,
+            st.decode_seconds,
         )
         mark, self._store_mark = self._store_mark, now
         ws = self.workspace.stats
@@ -556,6 +619,8 @@ class TraversalKernel:
         ws.store_blocks_decoded += now[2] - mark[2]
         ws.store_decoded_bytes += now[3] - mark[3]
         ws.store_block_evictions += now[4] - mark[4]
+        ws.store_redecoded_blocks += now[5] - mark[5]
+        ws.store_decode_seconds += now[6] - mark[6]
 
     # ------------------------------------------------------------------
     # Deadline
@@ -629,13 +694,24 @@ class TraversalKernel:
         visited = 1
         level = 0
         last_nonempty = frontier
+        # Memory-budgeted modes route every expansion through the
+        # store's block path (bottom-up needs the full decoded indices,
+        # so it is disabled under pressure — the next frontier is
+        # identical either way, only the arc accounting differs).
+        use_blocks = self.memory_mode in ("cached", "stream")
+        retain = self.memory_mode != "stream"
 
         while len(frontier):
             if max_level is not None and level >= max_level:
                 break
             self.check_deadline()
             level += 1
-            if self.directions and len(frontier) > size_threshold:
+            if use_blocks:
+                next_frontier, edges = topdown_step_blocks(
+                    self._block_store, frontier, marks, pool=ws, retain=retain
+                )
+                direction = Direction.TOP_DOWN
+            elif self.directions and len(frontier) > size_threshold:
                 flag = ws.frontier_flag()
                 flag[:] = False
                 flag[frontier] = True
@@ -661,6 +737,8 @@ class TraversalKernel:
             last_nonempty = next_frontier
             frontier = next_frontier
 
+        if use_blocks:
+            self._sync_store_stats()
         return BFSResult(
             source=source,
             eccentricity=level,
@@ -812,12 +890,16 @@ class TraversalKernel:
         if mark_sources:
             marks.visit(sources)
 
-        if self.batch_lanes > 0:
+        if self.batch_lanes > 0 and self.memory_mode not in ("cached", "stream"):
+            # Lane sweeps run on the decoded arrays; under a memory
+            # budget the scalar block path below bounds decoded scratch.
             return self._levels_lanes(
                 sources, max_level, marks=marks, on_level=on_level
             )
 
-        use_blocks = self._use_block_gather(len(sources), max_level)
+        budgeted = self.memory_mode in ("cached", "stream")
+        use_blocks = budgeted or self._use_block_gather(len(sources), max_level)
+        retain = self.memory_mode != "stream"
         levels: list[np.ndarray] = []
         frontier = sources
         level = 0
@@ -827,7 +909,11 @@ class TraversalKernel:
             self.check_deadline()
             if use_blocks:
                 next_frontier, edges = topdown_step_blocks(
-                    self._block_store, frontier, marks, pool=self.workspace
+                    self._block_store,
+                    frontier,
+                    marks,
+                    pool=self.workspace,
+                    retain=retain,
                 )
             else:
                 next_frontier, edges = topdown_step(
@@ -1038,6 +1124,7 @@ class TraversalKernel:
             backend=backend,
             kernel=self,
             start_method=start_method,
+            memory_budget=self.memory_budget,
         )
 
     # ------------------------------------------------------------------

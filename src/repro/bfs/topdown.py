@@ -71,6 +71,7 @@ def topdown_step_blocks(
     marks: VisitMarks,
     *,
     pool=None,
+    retain: bool = True,
 ) -> tuple[np.ndarray, int]:
     """Expand one BFS level top-down from a compressed store.
 
@@ -82,9 +83,11 @@ def topdown_step_blocks(
     its LRU block cache. Produces the exact same next frontier and arc
     count as the in-memory step — the equivalence tests cross-check the
     two — so the kernel can switch per expansion on the cost model's
-    verdict without changing any result.
+    verdict without changing any result. ``retain=False`` is the
+    memory-budgeted streaming mode: decoded blocks serve this level
+    only and never enter the store's cache.
     """
-    neigh, _ = store.gather_rows(frontier, pool=pool)
+    neigh, _ = store.gather_rows(frontier, pool=pool, retain=retain)
     edges_examined = len(neigh)
     if edges_examined == 0:
         return np.empty(0, dtype=np.int64), 0

@@ -140,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
         "decoding gathers and compressed-image process sharing",
     )
     parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for decoded adjacency scratch on .scsr graphs "
+        "loaded with --mmap: under pressure the traversal routes every "
+        "expansion through block decoding with the store's cache capped "
+        "at this size (the answer is bit-identical; only wall time and "
+        "resident bytes change). Default: unbounded",
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     return parser
@@ -185,9 +196,21 @@ def build_convert_parser() -> argparse.ArgumentParser:
         help="write .npz output without zlib (required for --mmap loading)",
     )
     parser.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=None,
+        metavar="E",
+        help=".scsr streaming-encoder chunk cap: encode at most ~E arcs "
+        "(and ~E vertices) of block-aligned sections at a time, bounding "
+        "the encoder's transient memory at O(E) instead of O(edges); the "
+        "output is byte-identical to the one-shot encode (default: "
+        "one-shot)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
-        help="print size accounting (bytes/edge, ratio vs the input file)",
+        help="print size accounting (bytes/edge, ratio vs the input file, "
+        "and for .scsr the per-section byte breakdown)",
     )
     return parser
 
@@ -211,6 +234,13 @@ def convert_main(argv: list[str] | None = None) -> int:
     if args.block_size is not None and args.block_size < 1:
         print("error: --block-size must be >= 1", file=sys.stderr)
         return 2
+    if args.chunk_edges is not None and args.chunk_edges < 1:
+        print("error: --chunk-edges must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_edges is not None and out_ext != ".scsr":
+        print("error: --chunk-edges only applies to .scsr output",
+              file=sys.stderr)
+        return 2
     try:
         graph = read_graph(args.input)
     except (ReproError, OSError) as exc:
@@ -224,6 +254,7 @@ def convert_main(argv: list[str] | None = None) -> int:
         order = ORDER_STRATEGIES[args.reorder](graph)
         graph = apply_order(graph, order, name=graph.name).graph
 
+    info = None
     try:
         if out_ext == ".scsr":
             info = save_scsr(
@@ -231,6 +262,7 @@ def convert_main(argv: list[str] | None = None) -> int:
                 args.output,
                 block_size=args.block_size or DEFAULT_BLOCK_SIZE,
                 provenance=provenance,
+                chunk_edges=args.chunk_edges,
             )
             out_bytes = info.nbytes
         else:
@@ -253,6 +285,22 @@ def convert_main(argv: list[str] | None = None) -> int:
         if in_bytes:
             print(f"size ratio     : {in_bytes / max(out_bytes, 1):.2f}x "
                   "(input / output)")
+        if info is not None:
+            sections = info.section_nbytes
+            file_bytes = os.path.getsize(args.output)
+            assert sum(sections.values()) == file_bytes, (
+                f"section accounting {sections} does not sum to the "
+                f"{file_bytes}-byte file"
+            )
+            print("sections       :")
+            for section, nbytes in sections.items():
+                share = nbytes / max(file_bytes, 1)
+                print(f"  {section:<16s}: {format_bytes(nbytes)} "
+                      f"({share:6.2%})")
+            if info.chunk_edges is not None:
+                print(f"encoder chunk  : {info.chunk_edges:,} edges")
+            print(f"encoder peak   : {format_bytes(info.encoder_peak_bytes)} "
+                  "(accounted transient)")
     return 0
 
 
@@ -529,6 +577,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.memory_budget is not None and args.memory_budget < 0:
+        print("error: --memory-budget must be >= 0", file=sys.stderr)
+        return 2
     try:
         graph = read_graph(args.graph, mmap=args.mmap)
     except (ReproError, OSError) as exc:
@@ -549,6 +600,7 @@ def main(argv: list[str] | None = None) -> int:
         use_max_degree_start=not args.start_vertex_zero,
         bfs_batch_lanes=args.bfs_batch_lanes,
         prep=args.prep,
+        memory_budget=args.memory_budget,
     )
     store = None
     cache_info = None
@@ -658,6 +710,20 @@ def main(argv: list[str] | None = None) -> int:
                       f"rate), {ws.store_blocks_decoded:,} decoded "
                       f"({format_bytes(ws.store_decoded_bytes)}, "
                       f"{ws.store_block_evictions:,} evictions)")
+                if ws.store_blocks_decoded:
+                    thrash = (
+                        ws.store_redecoded_blocks / ws.store_blocks_decoded
+                    )
+                    bandwidth = (
+                        ws.store_decoded_bytes / ws.store_decode_seconds
+                        if ws.store_decode_seconds > 0
+                        else 0.0
+                    )
+                    print(f"store decode   : "
+                          f"{ws.store_redecoded_blocks:,} re-decodes "
+                          f"({100 * thrash:.1f}% thrash), "
+                          f"{format_bytes(int(bandwidth))}/s decode "
+                          "bandwidth")
         reasons = result.stats.lane_fallback_reasons
         if reasons:
             print(f"lane fallbacks : {len(reasons)}")

@@ -91,6 +91,8 @@ class FDiamState:
             directions=config.directions,
             deadline=deadline,
             batch_lanes=config.bfs_batch_lanes,
+            memory_budget=config.memory_budget,
+            memory_mode=config.memory_mode,
         )
         #: Shared visit counter (the paper's ``counter`` parameter) —
         #: an alias of the kernel workspace's marks.

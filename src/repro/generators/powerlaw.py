@@ -28,10 +28,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AlgorithmError
-from repro.graph.build import from_edge_arrays
+from repro.graph.build import from_edge_arrays, from_edge_chunks
 from repro.graph.csr import CSRGraph
 
-__all__ = ["barabasi_albert", "copying_model", "scale_free"]
+__all__ = [
+    "barabasi_albert",
+    "copying_model",
+    "scale_free",
+    "scale_free_chunked",
+]
 
 
 def scale_free(
@@ -79,6 +84,59 @@ def scale_free(
     return from_edge_arrays(
         src[keep], dst[keep], n, name or f"scale-free-{n}"
     )
+
+
+def scale_free_chunked(
+    n: int,
+    *,
+    avg_degree: float = 3.0,
+    exponent: float = 2.5,
+    seed: int = 0,
+    chunk_edges: int = 1 << 20,
+    name: str | None = None,
+) -> CSRGraph:
+    """A power-law graph sampled in fixed-size edge chunks (10^7 tier).
+
+    The streaming twin of :func:`scale_free`: the same truncated-Pareto
+    inverse-CDF endpoint sampling, but candidate edges are drawn
+    ``chunk_edges`` at a time from a private
+    ``default_rng([seed, chunk_index])`` stream per chunk and fed
+    through :func:`repro.graph.build.from_edge_chunks`, so no more
+    than ``O(chunk_edges)`` COO edges exist at once.
+
+    ``chunk_edges`` is part of the graph definition (each chunk owns
+    an independent RNG stream, so a different chunking draws different
+    candidates) — pinned analogs must pin it alongside ``seed``. For a
+    *fixed* ``chunk_edges`` the result is fully deterministic, and the
+    per-chunk keying means generation could be parallelized or resumed
+    per chunk without replaying the whole stream.
+    """
+    if n < 2:
+        raise AlgorithmError("scale_free_chunked requires n >= 2")
+    if avg_degree <= 0:
+        raise AlgorithmError("scale_free_chunked requires avg_degree > 0")
+    if exponent <= 2.0:
+        raise AlgorithmError("scale_free_chunked requires exponent > 2")
+    if chunk_edges < 1:
+        raise AlgorithmError("chunk_edges must be >= 1")
+    num_candidates = max(int(n * avg_degree / 2), 1)
+    s = 1.0 / (exponent - 1.0)
+    top = float(n + 1) ** (1.0 - s)
+
+    def chunks():
+        done = 0
+        chunk_index = 0
+        while done < num_candidates:
+            size = min(chunk_edges, num_candidates - done)
+            rng = np.random.default_rng([seed, chunk_index])
+            u = rng.random((2, size))
+            ranks = (1.0 + u * (top - 1.0)) ** (1.0 / (1.0 - s))
+            ids = np.minimum(ranks.astype(np.int64) - 1, n - 1)
+            yield ids[0], ids[1]
+            done += size
+            chunk_index += 1
+
+    return from_edge_chunks(chunks, n, name or f"scale-free-chunked-{n}")
 
 
 def barabasi_albert(

@@ -20,10 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AlgorithmError
-from repro.graph.build import from_edge_arrays
+from repro.graph.build import from_edge_arrays, from_edge_chunks
 from repro.graph.csr import CSRGraph
 
-__all__ = ["road_network"]
+__all__ = ["road_network", "road_network_chunked"]
 
 
 def road_network(
@@ -88,4 +88,106 @@ def road_network(
         all_src, all_dst = plain_src, plain_dst
     return from_edge_arrays(
         all_src, all_dst, n, name or f"road-{rows}x{cols}-s{seed}"
+    )
+
+
+def _row_edges(r: int, rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """The grid edges *owned* by row ``r`` (its horizontals, then the
+    verticals dropping to row ``r + 1``), in a fixed deterministic order."""
+    base = r * cols
+    h_src = base + np.arange(cols - 1, dtype=np.int64)
+    h_dst = h_src + 1
+    if r + 1 < rows:
+        v_src = base + np.arange(cols, dtype=np.int64)
+        v_dst = v_src + cols
+        return np.concatenate([h_src, v_src]), np.concatenate([h_dst, v_dst])
+    return h_src, h_dst
+
+
+def road_network_chunked(
+    rows: int,
+    cols: int,
+    *,
+    edge_keep: float = 0.8,
+    chain_fraction: float = 0.15,
+    chain_length: int = 4,
+    seed: int = 0,
+    band_rows: int = 64,
+    name: str | None = None,
+) -> CSRGraph:
+    """A road-map-like graph emitted in grid-row bands (10^7-edge tier).
+
+    The streaming twin of :func:`road_network` for analogs whose full
+    COO edge list would dwarf the final CSR: edges are generated one
+    band of ``band_rows`` grid rows at a time and fed through
+    :func:`repro.graph.build.from_edge_chunks`, so no more than
+    ``O(band)`` COO edges exist at once.
+
+    The graph is a *deterministic function of the parameters only* —
+    not of ``band_rows``: every grid row owns its horizontal edges and
+    the verticals to the next row, and draws its keep/subdivide masks
+    from a private ``default_rng([seed, row])`` stream. Chain interior
+    vertex ids are assigned by a prescan that counts subdivided edges
+    per row (the cumulative sum gives each row's chain-id base), so
+    banding only groups rows, never renumbers anything. The
+    band-invariance is regression-tested.
+
+    The randomness keying differs from :func:`road_network` (one
+    stream per row instead of one global stream), so the two
+    generators realize *different* graphs for identical parameters;
+    the topology class and knob semantics are the same.
+    """
+    if rows < 2 or cols < 2:
+        raise AlgorithmError("road_network_chunked requires rows, cols >= 2")
+    if not 0.0 < edge_keep <= 1.0:
+        raise AlgorithmError("edge_keep must be in (0, 1]")
+    if band_rows < 1:
+        raise AlgorithmError("band_rows must be >= 1")
+    if chain_length < 0:
+        raise AlgorithmError("chain_length must be >= 0")
+
+    def row_draws(r: int):
+        rng = np.random.default_rng([seed, r])
+        src, dst = _row_edges(r, rows, cols)
+        keep = rng.random(len(src)) < edge_keep
+        src, dst = src[keep], dst[keep]
+        subdivide = rng.random(len(src)) < chain_fraction
+        return src, dst, subdivide
+
+    # Prescan: subdivided-edge count per row -> chain-id base per row.
+    sub_counts = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        _, _, subdivide = row_draws(r)
+        sub_counts[r] = np.count_nonzero(subdivide)
+    chain_base = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(sub_counts, out=chain_base[1:])
+    grid_n = rows * cols
+    n = grid_n + int(chain_base[-1]) * chain_length
+
+    def bands():
+        for r0 in range(0, rows, band_rows):
+            parts_src, parts_dst = [], []
+            for r in range(r0, min(r0 + band_rows, rows)):
+                src, dst, subdivide = row_draws(r)
+                parts_src.append(src[~subdivide])
+                parts_dst.append(dst[~subdivide])
+                sub_src, sub_dst = src[subdivide], dst[subdivide]
+                if len(sub_src) and chain_length > 0:
+                    k = chain_length
+                    first_id = grid_n + chain_base[r] * k
+                    new_ids = first_id + np.arange(
+                        len(sub_src) * k, dtype=np.int64
+                    ).reshape(len(sub_src), k)
+                    chain_cols = np.concatenate(
+                        [sub_src[:, None], new_ids, sub_dst[:, None]], axis=1
+                    )
+                    parts_src.append(chain_cols[:, :-1].ravel())
+                    parts_dst.append(chain_cols[:, 1:].ravel())
+                elif len(sub_src):
+                    parts_src.append(sub_src)
+                    parts_dst.append(sub_dst)
+            yield np.concatenate(parts_src), np.concatenate(parts_dst)
+
+    return from_edge_chunks(
+        bands, n, name or f"road-chunked-{rows}x{cols}-s{seed}"
     )

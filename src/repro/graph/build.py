@@ -16,7 +16,7 @@ benchmark analogs (hundreds of thousands of edges) takes milliseconds.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "from_edge_arrays",
+    "from_edge_chunks",
     "from_edges",
     "from_adjacency",
     "from_scipy_sparse",
@@ -101,6 +102,141 @@ def from_edge_arrays(
     np.cumsum(counts, out=indptr[1:])
     indices = all_dst.astype(_index_dtype(num_vertices))
     return CSRGraph(indptr, indices, name=name)
+
+
+def _normalize_chunk(
+    src, dst, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate one COO chunk and drop its self-loops."""
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise GraphValidationError(
+            f"edge arrays have mismatched lengths {len(src)} != {len(dst)}"
+        )
+    if len(src):
+        if src.min() < 0 or dst.min() < 0:
+            raise GraphValidationError("negative vertex id in edge list")
+        if max(src.max(), dst.max()) >= num_vertices:
+            raise GraphValidationError(
+                f"vertex id {int(max(src.max(), dst.max()))} exceeds "
+                f"num_vertices={num_vertices}"
+            )
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
+def from_edge_chunks(
+    chunk_factory: Callable[[], Iterable[tuple[np.ndarray, np.ndarray]]],
+    num_vertices: int,
+    name: str = "graph",
+    *,
+    chunk_arcs: int = 1 << 22,
+) -> CSRGraph:
+    """Build a graph from a re-iterable stream of COO edge chunks.
+
+    The out-of-core twin of :func:`from_edge_arrays` for the
+    10^7-edge generation tier: the full COO edge list is never
+    materialized. ``chunk_factory`` is a zero-argument callable
+    returning a fresh iterable of ``(src, dst)`` array pairs — it is
+    consumed twice (a degree-counting pass, then a placement pass), so
+    a generator function fits and a one-shot generator object does
+    not. Peak transient memory is ``O(largest chunk)`` on top of the
+    output CSR arrays themselves.
+
+    The normalization pipeline is identical to
+    :func:`from_edge_arrays` — drop self-loops, symmetrize, sort each
+    adjacency list, deduplicate — and the result is *bit-identical* to
+    feeding the concatenated chunks through :func:`from_edge_arrays`
+    (the equivalence is regression-tested): pass 1 bin-counts
+    duplicated degrees; pass 2 places both directions of every arc at
+    per-source cursor positions (stable, so each list's pre-sort order
+    matches the concatenated order, though sorting erases it anyway);
+    a final in-place pass sorts and deduplicates vertex slabs of at
+    most ``chunk_arcs`` arcs and left-compacts the survivors.
+
+    Parameters
+    ----------
+    chunk_factory:
+        Callable returning an iterable of ``(src, dst)`` pairs.
+    num_vertices:
+        Total vertex count — required (a streaming builder cannot
+        know ``max(id) + 1`` before allocating).
+    name:
+        Label attached to the resulting graph.
+    chunk_arcs:
+        Arc cap per finalization slab (degree-sorting scratch).
+    """
+    n = int(num_vertices)
+    if n < 0:
+        raise GraphValidationError("num_vertices must be >= 0")
+    if chunk_arcs < 1:
+        raise GraphValidationError("chunk_arcs must be >= 1")
+
+    # Pass 1: duplicated (pre-dedup, symmetrized) degree of every vertex.
+    counts = np.zeros(n, dtype=np.int64)
+    for src, dst in chunk_factory():
+        src, dst = _normalize_chunk(src, dst, n)
+        counts += np.bincount(src, minlength=n)
+        counts += np.bincount(dst, minlength=n)
+    indptr_dup = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr_dup[1:])
+
+    # Pass 2: place both directions of every arc. Within one chunk a
+    # stable sort groups arcs by source; the run rank of each arc plus
+    # the per-source cursor carried across chunks gives its slot.
+    adj = np.empty(int(indptr_dup[-1]), dtype=_index_dtype(n))
+    cursor = np.zeros(n, dtype=np.int64)
+    for src, dst in chunk_factory():
+        src, dst = _normalize_chunk(src, dst, n)
+        csrc = np.concatenate([src, dst])
+        cdst = np.concatenate([dst, src])
+        if not len(csrc):
+            continue
+        order = np.argsort(csrc, kind="stable")
+        s, d = csrc[order], cdst[order]
+        first = np.empty(len(s), dtype=bool)
+        first[0] = True
+        np.not_equal(s[1:], s[:-1], out=first[1:])
+        run_starts = np.flatnonzero(first)
+        run_lengths = np.diff(np.append(run_starts, len(s)))
+        ranks = np.arange(len(s), dtype=np.int64) - np.repeat(
+            run_starts, run_lengths
+        )
+        adj[indptr_dup[s] + cursor[s] + ranks] = d
+        cursor += np.bincount(csrc, minlength=n)
+
+    # Pass 3: sort + dedup each adjacency list, one vertex slab at a
+    # time, compacting survivors leftward in place (the write cursor
+    # never overtakes the slab being read, and the sorted slab copies
+    # out of ``adj`` before any write).
+    final_counts = np.zeros(n, dtype=np.int64)
+    write = 0
+    v0 = 0
+    while v0 < n:
+        v1 = int(
+            np.searchsorted(indptr_dup, indptr_dup[v0] + chunk_arcs, side="right")
+        ) - 1
+        v1 = min(max(v1, v0 + 1), n)
+        e0, e1 = int(indptr_dup[v0]), int(indptr_dup[v1])
+        degs = np.diff(indptr_dup[v0 : v1 + 1])
+        srcs = np.repeat(np.arange(v0, v1, dtype=np.int64), degs)
+        order = np.lexsort((adj[e0:e1], srcs))
+        s, d = srcs[order], adj[e0:e1][order]
+        if len(s):
+            uniq = np.empty(len(s), dtype=bool)
+            uniq[0] = True
+            np.not_equal(s[1:], s[:-1], out=uniq[1:])
+            uniq[1:] |= d[1:] != d[:-1]
+            s, d = s[uniq], d[uniq]
+        adj[write : write + len(d)] = d
+        final_counts[v0:v1] = np.bincount(s - v0, minlength=v1 - v0)
+        write += len(d)
+        v0 = v1
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(final_counts, out=indptr[1:])
+    return CSRGraph(indptr, adj[:write].copy(), name=name)
 
 
 def from_edges(

@@ -73,10 +73,12 @@ FAST_INPUTS: tuple[str, ...] = (
     "amazon0601",
 )
 
-#: The million-vertex tier (compressed-store stress workloads). Not
-#: part of :data:`ALL_INPUTS` — they have no paper Table 1 row and
-#: only the store/bench stages that opt in should pay their build
-#: cost.
+#: The scale tier (compressed-store and out-of-core stress workloads):
+#: the ``*-1M`` analogs at ~10^6 edges and the ``*-10M`` analogs at
+#: ~10^7 edges, the latter generated through the chunked builders so
+#: their COO never materializes. Not part of :data:`ALL_INPUTS` — they
+#: have no paper Table 1 row and only the store/bench stages that opt
+#: in should pay their build cost.
 SCALE_INPUTS: tuple[str, ...] = tuple(SCALE_ANALOGS)
 
 

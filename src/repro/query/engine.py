@@ -81,9 +81,9 @@ class _GraphEntry:
 
     __slots__ = ("graph", "kernel", "executor", "memo", "diameter", "digest", "dirty")
 
-    def __init__(self, graph: CSRGraph):
+    def __init__(self, graph: CSRGraph, *, memory_budget: int | None = None):
         self.graph = graph
-        self.kernel = TraversalKernel(graph)
+        self.kernel = TraversalKernel(graph, memory_budget=memory_budget)
         #: Lazily built sweep executor (see QueryEngine._executor_for).
         self.executor = None
         #: source vertex -> int32 distance row, LRU-ordered.
@@ -123,6 +123,13 @@ class QueryEngine:
         default) keeps every sweep in-process on the bitparallel
         backend; ``> 1`` lets the cost model dispatch batches to a
         shared-memory pool per registered graph.
+    memory_budget:
+        Byte budget for decoded adjacency scratch, applied to every
+        registered graph's kernel (and threaded into ``diam``
+        resolution runs). Only takes effect for graphs backed by a
+        block-compressed store (``.scsr`` loaded with ``mmap=True``);
+        see :class:`repro.core.config.FDiamConfig`. ``None`` means
+        unbounded.
     """
 
     store: object | None = None
@@ -130,6 +137,7 @@ class QueryEngine:
     batch_lanes: int = 256
     memo_vectors: int = 64
     workers: int = 1
+    memory_budget: int | None = None
     _graphs: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     def __post_init__(self):
@@ -141,6 +149,8 @@ class QueryEngine:
             raise AlgorithmError("memo_vectors must be >= 0")
         if self.workers < 1:
             raise AlgorithmError("workers must be >= 1")
+        if self.memory_budget is not None and self.memory_budget < 0:
+            raise AlgorithmError("memory_budget must be >= 0")
 
     # ------------------------------------------------------------------
     # Registry
@@ -153,7 +163,7 @@ class QueryEngine:
         cached landmark rows and the cached diameter.
         """
         key = key if key is not None else graph.name
-        entry = _GraphEntry(graph)
+        entry = _GraphEntry(graph, memory_budget=self.memory_budget)
         if self.store is not None:
             entry.digest = graph_digest(graph)
             art = self.store.load(graph, digest=entry.digest)
@@ -311,12 +321,17 @@ class QueryEngine:
             from repro.cache.runner import fdiam_cached
 
             result, _ = fdiam_cached(
-                entry.graph, FDiamConfig(prep="auto"), store=self.store
+                entry.graph,
+                FDiamConfig(prep="auto", memory_budget=self.memory_budget),
+                store=self.store,
             )
         else:
             from repro.core.fdiam import fdiam
 
-            result = fdiam(entry.graph, FDiamConfig(prep="auto"))
+            result = fdiam(
+                entry.graph,
+                FDiamConfig(prep="auto", memory_budget=self.memory_budget),
+            )
         stats.sweeps += result.stats.bfs_traversals
         stats.scalar_traversals += result.stats.bfs_traversals
         stats.edges_examined += result.stats.edges_examined

@@ -30,6 +30,7 @@ from repro.store.varint import (
     decode_varints,
     encode_varints,
     varint_lengths,
+    varint_offsets,
     zigzag_decode,
     zigzag_encode,
 )

@@ -87,6 +87,11 @@ class StoreHeader:
         """Entries per block-index table (``num_blocks + 1``)."""
         return self.num_blocks + 1
 
+    @property
+    def index_nbytes(self) -> int:
+        """Total bytes of the three ``uint64`` block-index tables."""
+        return 3 * 8 * self.index_entries
+
 
 def _padded(nbytes: int) -> int:
     return (nbytes + 7) & ~7

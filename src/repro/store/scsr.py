@@ -36,6 +36,8 @@ with the file and failing region named.
 from __future__ import annotations
 
 import os
+import secrets
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -54,6 +56,7 @@ from repro.store.format import (
 from repro.store.varint import (
     decode_varints,
     encode_varints,
+    varint_offsets,
     zigzag_decode,
     zigzag_encode,
 )
@@ -78,6 +81,11 @@ DEFAULT_BLOCK_SIZE = 64
 #: this bounds resident decoded scratch to a few MiB even on hub rows.
 DEFAULT_CACHE_BLOCKS = 512
 
+#: Floor on the transient bulk-decode scratch (in bytes of decoded
+#: adjacency) — even a tiny cache budget amortizes varint overhead
+#: over passes of this size; the scratch is freed when the gather ends.
+_RUN_DECODE_FLOOR = 1 << 22
+
 
 @dataclass
 class BlockCacheStats:
@@ -87,7 +95,11 @@ class BlockCacheStats:
     ``block_requests`` counts every block the gather path asked for,
     ``block_hits`` the ones served from the LRU cache without
     decoding, ``blocks_decoded`` / ``decoded_bytes`` the actual varint
-    work, and ``evictions`` the cache pressure.
+    work, and ``evictions`` the cache pressure. ``redecoded_blocks``
+    counts decodes of a block decoded before (thrash: work the cache
+    would have saved with a larger budget) and ``decode_seconds`` the
+    wall time inside block decodes, so ``decode_bandwidth`` reads out
+    the varint path's effective decoded bytes per second.
     """
 
     block_requests: int = 0
@@ -95,6 +107,8 @@ class BlockCacheStats:
     blocks_decoded: int = 0
     decoded_bytes: int = 0
     evictions: int = 0
+    redecoded_blocks: int = 0
+    decode_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -103,10 +117,32 @@ class BlockCacheStats:
             return 0.0
         return self.block_hits / self.block_requests
 
+    @property
+    def thrash_rate(self) -> float:
+        """Fraction of decodes that re-did previously decoded work."""
+        if self.blocks_decoded == 0:
+            return 0.0
+        return self.redecoded_blocks / self.blocks_decoded
+
+    @property
+    def decode_bandwidth(self) -> float:
+        """Decoded bytes per second of decode wall time (0 if untimed)."""
+        if self.decode_seconds <= 0.0:
+            return 0.0
+        return self.decoded_bytes / self.decode_seconds
+
 
 @dataclass(frozen=True)
 class StoreInfo:
-    """Size accounting returned by :func:`save_scsr`."""
+    """Size accounting returned by :func:`save_scsr`.
+
+    The per-section byte counts always satisfy ``header_nbytes +
+    index_nbytes + deg_stream_nbytes + adj_stream_nbytes == nbytes``
+    (asserted by ``repro convert --stats``); ``encoder_peak_bytes`` is
+    the encoder's accounted transient high-water mark — every array the
+    chunked writer allocates beyond its persistent block index — which
+    is what the streaming encoder bounds to ``O(chunk_edges)``.
+    """
 
     path: str
     nbytes: int
@@ -116,6 +152,11 @@ class StoreInfo:
     block_size: int
     num_blocks: int
     provenance: str
+    header_nbytes: int = 0
+    deg_stream_nbytes: int = 0
+    adj_stream_nbytes: int = 0
+    encoder_peak_bytes: int = 0
+    chunk_edges: int | None = None
 
     @property
     def bytes_per_edge(self) -> float:
@@ -126,6 +167,21 @@ class StoreInfo:
     def bytes_per_arc(self) -> float:
         """File bytes per stored directed arc."""
         return self.nbytes / max(self.num_directed_edges, 1)
+
+    @property
+    def index_nbytes(self) -> int:
+        """Bytes of the three ``uint64`` block-index tables."""
+        return 3 * 8 * (self.num_blocks + 1)
+
+    @property
+    def section_nbytes(self) -> dict[str, int]:
+        """Per-section byte breakdown in file order."""
+        return {
+            "header": self.header_nbytes,
+            "index": self.index_nbytes,
+            "degree_stream": self.deg_stream_nbytes,
+            "adjacency_stream": self.adj_stream_nbytes,
+        }
 
 
 def _block_boundaries(num_vertices: int, block_size: int) -> np.ndarray:
@@ -144,13 +200,18 @@ def _decode_rows(
     *,
     source: str,
     region: str,
+    row_ids: np.ndarray | None = None,
 ) -> np.ndarray:
     """Rebuild absolute neighbour ids from decoded delta values.
 
     ``vals`` holds the varint-decoded codes of consecutive rows whose
     degrees are ``degrees`` and whose first row is vertex
-    ``first_vertex``. Two layered carry-corrected ``cumsum`` passes do
-    all the work with no per-row loop:
+    ``first_vertex`` — or, when ``row_ids`` is given, of the explicit
+    (ascending, possibly non-contiguous) vertices it names: the
+    first-delta chains reset at block boundaries, so rows from any
+    sorted set of whole blocks decode in one pass. Two layered
+    carry-corrected ``cumsum`` passes do all the work with no per-row
+    loop:
 
     1. the zigzag codes at the row starts chain first-neighbour
        deltas row-to-row *within each block* (the block's first
@@ -167,7 +228,10 @@ def _decode_rows(
         return np.empty(0, dtype=np.int64)
     nz = degrees > 0
     row_starts = local_indptr[:-1][nz]
-    row_ids = first_vertex + np.flatnonzero(nz)
+    if row_ids is None:
+        row_ids = first_vertex + np.flatnonzero(nz)
+    else:
+        row_ids = np.asarray(row_ids, dtype=np.int64)[nz]
 
     # Pass 1: first neighbours, chained per block segment.
     z = zigzag_decode(vals[row_starts])
@@ -212,6 +276,7 @@ class CompressedCSR:
         *,
         source: str = "<buffer>",
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache_bytes: int | None = None,
     ):
         self._image = np.ascontiguousarray(image, dtype=np.uint8).reshape(-1)
         self._source = source
@@ -220,10 +285,13 @@ class CompressedCSR:
             OrderedDict()
         )
         self._cache_blocks = max(int(cache_blocks), 1)
+        self._cache_bytes = None if cache_bytes is None else max(int(cache_bytes), 0)
+        self._resident_bytes = 0
         self._degrees: np.ndarray | None = None
         self._indptr: np.ndarray | None = None
 
         self.header, index_offset = unpack_header(self._image, source=source)
+        self._index_offset = index_offset
         entries = self.header.index_entries
         table = 8 * entries
         streams_start = index_offset + 3 * table
@@ -267,6 +335,7 @@ class CompressedCSR:
         self._bounds = _block_boundaries(
             self.header.num_vertices, self.header.block_size
         )
+        self._decoded_once = np.zeros(self.header.num_blocks, dtype=bool)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -289,12 +358,14 @@ class CompressedCSR:
         *,
         source: str = "<shared>",
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache_bytes: int | None = None,
     ) -> "CompressedCSR":
         """Parse an in-memory image (e.g. a shared-memory segment)."""
         return cls(
             np.frombuffer(buf, dtype=np.uint8),
             source=source,
             cache_blocks=cache_blocks,
+            cache_bytes=cache_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -339,6 +410,64 @@ class CompressedCSR:
         """The raw ``uint8`` image (read-only view)."""
         return self._image
 
+    @property
+    def section_nbytes(self) -> dict[str, int]:
+        """Per-section byte breakdown of the image, in file order.
+
+        The sections tile the file exactly: their sum equals
+        :attr:`image_nbytes` (the ``convert --stats`` assertion).
+        """
+        return {
+            "header": self._index_offset,
+            "index": self.header.index_nbytes,
+            "degree_stream": len(self._deg_stream),
+            "adjacency_stream": len(self._adj_stream),
+        }
+
+    # ------------------------------------------------------------------
+    # Cache budget
+    # ------------------------------------------------------------------
+    @property
+    def cache_budget(self) -> int | None:
+        """Byte budget of the block cache (``None`` = block-count LRU)."""
+        return self._cache_bytes
+
+    @property
+    def cache_resident_bytes(self) -> int:
+        """Decoded bytes currently held by the block cache."""
+        return self._resident_bytes
+
+    def set_cache_budget(self, nbytes: int | None) -> None:
+        """Cap the decoded block cache at ``nbytes`` (``None`` clears).
+
+        A byte budget takes precedence over the block-count limit the
+        store was opened with; setting one trims the cache immediately
+        (evictions count toward :attr:`BlockCacheStats.evictions`).
+        """
+        self._cache_bytes = None if nbytes is None else max(int(nbytes), 0)
+        self._trim_cache(min_keep=0)
+
+    def _trim_cache(self, *, min_keep: int = 1) -> None:
+        """Evict LRU entries until the cache fits its budget.
+
+        ``min_keep`` protects the just-inserted entry on the decode
+        path (a block larger than the whole budget must still be
+        servable once); budget changes trim all the way down.
+        """
+        if self._cache_bytes is not None:
+            while (
+                self._resident_bytes > self._cache_bytes
+                and len(self._cache) > min_keep
+            ):
+                _, (li, adj) = self._cache.popitem(last=False)
+                self._resident_bytes -= li.nbytes + adj.nbytes
+                self.stats.evictions += 1
+        else:
+            while len(self._cache) > self._cache_blocks:
+                _, (li, adj) = self._cache.popitem(last=False)
+                self._resident_bytes -= li.nbytes + adj.nbytes
+                self.stats.evictions += 1
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
@@ -369,7 +498,9 @@ class CompressedCSR:
             self.degrees()
         return self._indptr
 
-    def decode_block(self, block: int) -> tuple[np.ndarray, np.ndarray]:
+    def decode_block(
+        self, block: int, *, retain: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Decode (or fetch cached) one block's rows.
 
         Returns ``(local_indptr, neighbors)``: ``local_indptr`` has one
@@ -378,6 +509,11 @@ class CompressedCSR:
         (``int64`` absolute ids). Vertex ``v`` of block ``b`` (global
         id ``b * block_size + i``) owns
         ``neighbors[local_indptr[i]:local_indptr[i + 1]]``.
+
+        ``retain=False`` is the streaming-gather mode: existing cache
+        entries are still served (and refreshed), but a freshly decoded
+        block is returned without being inserted — the cache footprint
+        never grows, at the cost of re-decoding on revisit.
         """
         if not 0 <= block < self.header.num_blocks:
             raise StoreFormatError(
@@ -390,43 +526,109 @@ class CompressedCSR:
             self.stats.block_hits += 1
             self._cache.move_to_end(block)
             return cached
-        lo_v, hi_v = int(self._bounds[block]), int(self._bounds[block + 1])
-        region = f"block {block}"
+        return self._decode_blocks(
+            np.array([block], dtype=np.int64), retain=retain
+        )[0]
+
+    def _decode_blocks(
+        self, ids: np.ndarray, *, retain: bool = True
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Decode an ascending set of blocks in one varint pass each.
+
+        ``ids`` need not be contiguous: the byte slices of each maximal
+        contiguous run are concatenated (cheap memcpy of the encoded
+        bytes) and both streams decode in a single
+        :func:`decode_varints` call — the fixed per-call cost that
+        dominates scattered single-block decodes is paid once per
+        *gather*, not once per block. The first-delta chains reset at
+        block boundaries, so :func:`_decode_rows` rebuilds absolute ids
+        across the whole concatenation given the explicit row ids.
+
+        Returns one ``(local_indptr, neighbors)`` entry per block in
+        ``ids`` order; ``retain`` inserts each into the LRU cache
+        (copies), otherwise the entries are transient views into the
+        pass's scratch.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        region = (
+            f"block {int(ids[0])}"
+            if len(ids) == 1
+            else f"blocks {int(ids[0])}..{int(ids[-1])} ({len(ids)} of them)"
+        )
+        t0 = time.perf_counter()
+        # Maximal contiguous runs of ids: one byte-slice pair per run.
+        cuts = np.flatnonzero(np.diff(ids) > 1) + 1
+        run_lo = ids[np.concatenate(([0], cuts))]
+        run_hi = ids[np.concatenate((cuts - 1, [len(ids) - 1]))] + 1
+        def _splice(stream: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+            parts = [
+                stream[offsets[lo] : offsets[hi]]
+                for lo, hi in zip(run_lo, run_hi)
+            ]
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        counts = self._bounds[ids + 1] - self._bounds[ids]
         degs = decode_varints(
-            self._deg_stream[self._deg_offsets[block] : self._deg_offsets[block + 1]],
-            expected=hi_v - lo_v,
+            _splice(self._deg_stream, self._deg_offsets),
+            expected=int(counts.sum()),
         ).astype(np.int64)
-        arcs = int(self._first_edge[block + 1] - self._first_edge[block])
-        if int(degs.sum()) != arcs:
+        exp_arcs = self._first_edge[ids + 1] - self._first_edge[ids]
+        local = np.concatenate(([0], np.cumsum(degs)))
+        vtx_bounds = np.concatenate(([0], np.cumsum(counts)))
+        arc_bounds = np.concatenate(([0], np.cumsum(exp_arcs)))
+        if (local[vtx_bounds] != arc_bounds).any():
             raise StoreFormatError(
-                f"{self._source}: {region}: degrees sum to {int(degs.sum())}, "
-                f"block index claims {arcs} arcs (corrupt)"
+                f"{self._source}: {region}: degrees sum to "
+                f"{int(degs.sum())}, block index claims "
+                f"{int(exp_arcs.sum())} arcs (corrupt)"
             )
         vals = decode_varints(
-            self._adj_stream[self._adj_offsets[block] : self._adj_offsets[block + 1]],
-            expected=arcs,
+            _splice(self._adj_stream, self._adj_offsets),
+            expected=int(exp_arcs.sum()),
+        )
+        total_rows = int(counts.sum())
+        ramp = np.arange(total_rows, dtype=np.int64)
+        row_ids = ramp + np.repeat(
+            self._bounds[ids] - vtx_bounds[:-1], counts
         )
         adj = _decode_rows(
             vals,
             degs,
-            lo_v,
+            0,
             self.header.num_vertices,
             self.header.block_size,
             source=self._source,
             region=region,
+            row_ids=row_ids,
         )
-        local_indptr = np.concatenate(([0], np.cumsum(degs)))
-        entry = (local_indptr, adj)
-        self._cache[block] = entry
-        self.stats.blocks_decoded += 1
-        self.stats.decoded_bytes += local_indptr.nbytes + adj.nbytes
-        while len(self._cache) > self._cache_blocks:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        return entry
+        self.stats.decode_seconds += time.perf_counter() - t0
+        entries: list[tuple[np.ndarray, np.ndarray]] = []
+        redecoded = int(self._decoded_once[ids].sum())
+        self.stats.blocks_decoded += len(ids)
+        self.stats.redecoded_blocks += redecoded
+        self._decoded_once[ids] = True
+        for k, b in enumerate(ids.tolist()):
+            rlo = int(vtx_bounds[k])
+            rhi = int(vtx_bounds[k + 1])
+            alo = int(local[rlo])
+            li = local[rlo : rhi + 1] - alo
+            a = adj[alo : int(local[rhi])]
+            if retain:
+                a = a.copy()
+            entry = (li, a)
+            self.stats.decoded_bytes += li.nbytes + a.nbytes
+            if retain:
+                old = self._cache.pop(b, None)
+                if old is not None:
+                    self._resident_bytes -= old[0].nbytes + old[1].nbytes
+                self._cache[b] = entry
+                self._resident_bytes += li.nbytes + a.nbytes
+            entries.append(entry)
+        if retain:
+            self._trim_cache(min_keep=1)
+        return entries
 
     def gather_rows(
-        self, vertices: np.ndarray, *, pool=None
+        self, vertices: np.ndarray, *, pool=None, retain: bool = True
     ) -> tuple[np.ndarray, np.ndarray]:
         """Concatenated neighbour lists of ``vertices`` via block decode.
 
@@ -438,7 +640,16 @@ class CompressedCSR:
         in-memory gather uses. Returns ``(values, lengths)``.
 
         ``pool`` (a duck-typed :class:`~repro.bfs.kernel.Workspace`)
-        supplies the cached ``arange`` ramp.
+        supplies the cached ``arange`` ramp. ``retain=False`` streams:
+        decoded blocks are used for this gather only and never enter
+        the cache (see :meth:`decode_block`).
+
+        Cache misses are decoded in bulk: all missing blocks (however
+        scattered) share one varint pass per stream via
+        :meth:`_decode_blocks` — split only when a pass would outgrow
+        its scratch cap — and the request scatters in a single
+        fancy-index over the assembled blocks instead of a per-block
+        loop.
         """
         v = np.asarray(vertices, dtype=np.int64).ravel()
         if len(v) and (int(v.min()) < 0 or int(v.max()) >= self.num_vertices):
@@ -448,30 +659,58 @@ class CompressedCSR:
             )
         lengths = self.degrees()[v] if len(v) else np.empty(0, dtype=np.int64)
         total = int(lengths.sum())
-        out = np.empty(total, dtype=np.int64)
         if total == 0:
-            return out, lengths
-        out_prefix = np.cumsum(lengths) - lengths
+            return np.empty(0, dtype=np.int64), lengths
         blocks = v // self.header.block_size
-        for block in np.unique(blocks):
-            sel = np.flatnonzero(blocks == block)
-            local_indptr, adj = self.decode_block(int(block))
-            vloc = v[sel] - int(block) * self.header.block_size
-            starts = local_indptr[vloc]
-            lens = local_indptr[vloc + 1] - starts
-            tot = int(lens.sum())
-            if tot == 0:
-                continue
-            ramp = (
-                pool.arange(tot)
-                if pool is not None
-                else np.arange(tot, dtype=np.int64)
+        uniq = np.unique(blocks)
+        self.stats.block_requests += len(uniq)
+        entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        missing: list[int] = []
+        for b in uniq.tolist():
+            entry = self._cache.get(b)
+            if entry is not None:
+                self.stats.block_hits += 1
+                self._cache.move_to_end(b)
+                entries[b] = entry
+            else:
+                missing.append(b)
+        if missing:
+            # Transient pass scratch stays near the cache budget (with a
+            # floor so tiny budgets still amortize the varint overhead).
+            if self._cache_bytes is not None:
+                cap_arcs = max(self._cache_bytes, _RUN_DECODE_FLOOR) // 8
+            else:
+                cap_arcs = _RUN_DECODE_FLOOR
+            miss = np.array(missing, dtype=np.int64)
+            arcs = (
+                self._first_edge[miss + 1] - self._first_edge[miss]
             )
-            prefix = np.cumsum(lens) - lens
-            flat = ramp[:tot] + np.repeat(starts - prefix, lens)
-            dest = ramp[:tot] + np.repeat(out_prefix[sel] - prefix, lens)
-            out[dest] = adj[flat]
-        return out, lengths
+            group = np.cumsum(arcs) // max(cap_arcs, 1)
+            for g in np.unique(group):
+                chunk = miss[group == g]
+                for b, entry in zip(
+                    chunk.tolist(),
+                    self._decode_blocks(chunk, retain=retain),
+                ):
+                    entries[b] = entry
+        adj_list = [entries[b][1] for b in uniq.tolist()]
+        sizes = np.fromiter(
+            (len(a) for a in adj_list), dtype=np.int64, count=len(adj_list)
+        )
+        base = np.concatenate(([0], np.cumsum(sizes)))
+        big = adj_list[0] if len(adj_list) == 1 else np.concatenate(adj_list)
+        bidx = np.searchsorted(uniq, blocks)
+        # A row's arcs sit at its global indptr offset minus the arc
+        # base of its block — the entry holds the full block.
+        pos = base[bidx] + (self.indptr()[v] - self._first_edge[blocks])
+        ramp = (
+            pool.arange(total)
+            if pool is not None
+            else np.arange(total, dtype=np.int64)
+        )
+        prefix = np.cumsum(lengths) - lengths
+        flat = ramp[:total] + np.repeat(pos - prefix, lengths)
+        return big[flat], lengths
 
     def to_graph(self, *, verify: bool = True) -> CSRGraph:
         """Full vectorized decode into a :class:`CSRGraph`.
@@ -520,6 +759,7 @@ class CompressedCSR:
         never views, so closing is always safe).
         """
         self._cache.clear()
+        self._resident_bytes = 0
         image = self._image
         self._image = np.empty(0, dtype=np.uint8)
         self._deg_stream = self._adj_stream = self._image
@@ -546,38 +786,58 @@ class CompressedCSR:
 # ----------------------------------------------------------------------
 # Encoding
 # ----------------------------------------------------------------------
-def save_scsr(
-    graph: CSRGraph,
-    path: str | os.PathLike,
-    *,
-    block_size: int = DEFAULT_BLOCK_SIZE,
-    provenance: str = "",
-) -> StoreInfo:
-    """Encode ``graph`` into a ``.scsr`` image at ``path``.
+def _chunk_block_ranges(
+    bounds: np.ndarray, first_edge: np.ndarray, chunk_cap: int
+) -> list[tuple[int, int]]:
+    """Partition the block sequence into encoder chunks.
 
-    Fully vectorized (delta computation, varint packing, and block
-    offset placement are all array passes). ``provenance`` records how
-    the vertex order was produced (e.g. ``"reorder=bfs"``) — the
-    compression ratio is a property of graph × order, and the header
-    keeps the pairing honest. The write is atomic (temp file + rename)
-    so a crash cannot leave a half-written store behind.
+    Greedy block-aligned ranges ``[block_lo, block_hi)`` covering every
+    block in order, each capped at ``chunk_cap`` arcs **and**
+    ``chunk_cap`` vertices (the vertex cap keeps sparse regions — or
+    all-isolated graphs — from pulling the whole file into one chunk),
+    always at least one block so oversized single blocks still encode.
     """
-    if block_size < 1:
-        raise StoreFormatError(f"block size must be >= 1, got {block_size}")
-    n = graph.num_vertices
-    m = graph.num_directed_edges
-    indptr = graph.indptr
-    degrees = np.diff(indptr)
+    num_blocks = len(bounds) - 1
+    ranges: list[tuple[int, int]] = []
+    b = 0
+    while b < num_blocks:
+        arc_hi = int(
+            np.searchsorted(first_edge, first_edge[b] + chunk_cap, side="right")
+        ) - 1
+        vert_hi = int(
+            np.searchsorted(bounds, bounds[b] + chunk_cap, side="right")
+        ) - 1
+        hi = min(min(arc_hi, vert_hi), num_blocks)
+        hi = max(hi, b + 1)
+        ranges.append((b, hi))
+        b = hi
+    return ranges
 
-    deg_stream, deg_lengths = encode_varints(degrees.astype(np.uint64))
 
-    idx = graph.indices.astype(np.int64)
-    d = np.empty(m, dtype=np.int64)
-    if m:
+def _encode_adjacency_chunk(
+    idx: np.ndarray,
+    degrees: np.ndarray,
+    local_offsets: np.ndarray,
+    first_vertex: int,
+    block_size: int,
+) -> np.ndarray:
+    """Delta/zigzag codes for a block-aligned run of rows.
+
+    ``idx`` holds the chunk's neighbour ids (``int64``), ``degrees``
+    its per-row counts, and ``local_offsets`` the row starts relative
+    to the chunk (``len(degrees) + 1`` entries starting at 0);
+    ``first_vertex`` is the chunk's first vertex id and must sit on a
+    block boundary — then the first-delta chain, which resets at block
+    boundaries, never reaches outside the chunk and the codes are
+    byte-for-byte what a whole-graph encode would produce.
+    """
+    d = np.empty(len(idx), dtype=np.int64)
+    if len(idx):
         d[0] = 0
         d[1:] = idx[1:] - idx[:-1] - 1
-    row_starts = indptr[:-1][degrees > 0]
-    row_ids = np.flatnonzero(degrees > 0)
+    nz = degrees > 0
+    row_starts = local_offsets[:-1][nz]
+    row_ids = first_vertex + np.flatnonzero(nz)
     # Row-start slots hold cross-row garbage (possibly negative) until
     # this overwrite; every other slot is a within-row gap - 1 >= 0.
     d[row_starts] = 0
@@ -599,15 +859,52 @@ def save_scsr(
         prev[1:] = firsts[:-1]
         base = np.where(seg_first, row_ids, prev)
         codes[row_starts] = zigzag_encode(firsts - base)
-    adj_stream, adj_lengths = encode_varints(codes)
+    return codes
+
+
+def save_scsr(
+    graph: CSRGraph,
+    path: str | os.PathLike,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    provenance: str = "",
+    chunk_edges: int | None = None,
+) -> StoreInfo:
+    """Encode ``graph`` into a ``.scsr`` image at ``path``.
+
+    The encoder streams: it walks the blocks in chunk-sized runs
+    (``chunk_edges`` caps each run's arcs and vertices), writes the
+    degree and adjacency streams sequentially behind a zeroed index
+    placeholder, and seeks back once at the end to patch the three
+    block-index tables. Peak transient memory is ``O(chunk_edges)``
+    regardless of graph size — ``chunk_edges=None`` uses a single
+    chunk, which is the fastest path when the whole graph fits — and
+    the output is byte-identical for every chunk size because the
+    first-delta chain resets at block boundaries, so block-aligned
+    chunks encode exactly what a whole-graph pass would.
+
+    ``provenance`` records how the vertex order was produced (e.g.
+    ``"reorder=bfs"``) — the compression ratio is a property of graph ×
+    order, and the header keeps the pairing honest. The write is atomic
+    (temp file + rename, with a random suffix so concurrent saves in
+    one process cannot collide) so a crash cannot leave a half-written
+    store behind.
+    """
+    if block_size < 1:
+        raise StoreFormatError(f"block size must be >= 1, got {block_size}")
+    if chunk_edges is not None and chunk_edges < 1:
+        raise StoreFormatError(f"chunk_edges must be >= 1, got {chunk_edges}")
+    n = graph.num_vertices
+    m = graph.num_directed_edges
+    indptr = graph.indptr
+    degrees = np.diff(indptr)
 
     bounds = _block_boundaries(n, block_size)
     num_blocks = len(bounds) - 1
-    first_edge = indptr[bounds].astype(np.uint64)
-    deg_cum = np.concatenate(([0], np.cumsum(deg_lengths)))
-    adj_cum = np.concatenate(([0], np.cumsum(adj_lengths)))
-    deg_offsets = deg_cum[bounds].astype(np.uint64)
-    adj_offsets = adj_cum[indptr[bounds]].astype(np.uint64)
+    entries = num_blocks + 1
+    first_edge = indptr[bounds].astype(np.int64)
+    chunk_cap = int(chunk_edges) if chunk_edges is not None else max(n, m, 1)
+    ranges = _chunk_block_ranges(bounds, first_edge, chunk_cap)
 
     header = StoreHeader(
         num_vertices=n,
@@ -619,34 +916,95 @@ def save_scsr(
         name=graph.name,
         provenance=provenance,
     )
-    payload = b"".join(
-        (
-            pack_header(header),
-            np.ascontiguousarray(first_edge, dtype="<u8").tobytes(),
-            np.ascontiguousarray(deg_offsets, dtype="<u8").tobytes(),
-            np.ascontiguousarray(adj_offsets, dtype="<u8").tobytes(),
-            deg_stream.tobytes(),
-            adj_stream.tobytes(),
-        )
+    header_bytes = pack_header(header)
+    index_nbytes = 3 * 8 * entries
+
+    deg_offsets = np.zeros(entries, dtype=np.int64)
+    adj_offsets = np.zeros(entries, dtype=np.int64)
+    persistent = (
+        bounds.nbytes + first_edge.nbytes + deg_offsets.nbytes + adj_offsets.nbytes
     )
+    peak_bytes = persistent
+    deg_total = 0
+    adj_total = 0
+
     path = os.fspath(path)
-    tmp = f"{path}.tmp-{os.getpid()}"
+    tmp = f"{path}.tmp-{os.getpid()}-{secrets.token_hex(4)}"
     try:
         with open(tmp, "wb") as fh:
-            fh.write(payload)
+            fh.write(header_bytes)
+            fh.write(b"\0" * index_nbytes)
+
+            # Degree stream, chunk by chunk.
+            for bl, bh in ranges:
+                lo_v, hi_v = int(bounds[bl]), int(bounds[bh])
+                chunk_degs = degrees[lo_v:hi_v].astype(np.uint64)
+                stream, lengths = encode_varints(chunk_degs)
+                offs = varint_offsets(lengths)
+                deg_offsets[bl:bh] = deg_total + offs[bounds[bl:bh] - lo_v]
+                fh.write(stream.data)
+                deg_total += len(stream)
+                # uint64 copy + encode-internal copies (lengths, starts,
+                # remaining) + boundary offsets + the stream itself.
+                transient = (
+                    2 * chunk_degs.nbytes
+                    + 2 * lengths.nbytes
+                    + offs.nbytes
+                    + stream.nbytes
+                )
+                peak_bytes = max(peak_bytes, persistent + transient)
+            deg_offsets[num_blocks] = deg_total
+
+            # Adjacency stream, chunk by chunk.
+            for bl, bh in ranges:
+                lo_v, hi_v = int(bounds[bl]), int(bounds[bh])
+                e0, e1 = int(first_edge[bl]), int(first_edge[bh])
+                idx = graph.indices[e0:e1].astype(np.int64)
+                local_offsets = indptr[lo_v : hi_v + 1] - e0
+                codes = _encode_adjacency_chunk(
+                    idx, degrees[lo_v:hi_v], local_offsets, lo_v, block_size
+                )
+                stream, lengths = encode_varints(codes)
+                offs = varint_offsets(lengths)
+                adj_offsets[bl:bh] = adj_total + offs[first_edge[bl:bh] - e0]
+                fh.write(stream.data)
+                adj_total += len(stream)
+                # idx copy + delta/code pair + encode-internal copies
+                # (lengths, starts, remaining) + offsets + stream.
+                transient = (
+                    3 * idx.nbytes
+                    + 2 * lengths.nbytes
+                    + codes.nbytes
+                    + local_offsets.nbytes
+                    + offs.nbytes
+                    + stream.nbytes
+                )
+                peak_bytes = max(peak_bytes, persistent + transient)
+            adj_offsets[num_blocks] = adj_total
+
+            # Back-patch the three fixed-width index tables.
+            fh.seek(len(header_bytes))
+            fh.write(np.ascontiguousarray(first_edge, dtype="<u8").data)
+            fh.write(np.ascontiguousarray(deg_offsets, dtype="<u8").data)
+            fh.write(np.ascontiguousarray(adj_offsets, dtype="<u8").data)
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):  # pragma: no cover - crash cleanup
             os.unlink(tmp)
     return StoreInfo(
         path=path,
-        nbytes=len(payload),
+        nbytes=len(header_bytes) + index_nbytes + deg_total + adj_total,
         num_vertices=n,
         num_edges=graph.num_edges,
         num_directed_edges=m,
         block_size=block_size,
         num_blocks=num_blocks,
         provenance=provenance,
+        header_nbytes=len(header_bytes),
+        deg_stream_nbytes=deg_total,
+        adj_stream_nbytes=adj_total,
+        encoder_peak_bytes=peak_bytes,
+        chunk_edges=chunk_edges,
     )
 
 

@@ -31,6 +31,7 @@ from repro.errors import StoreFormatError
 __all__ = [
     "MAX_VARINT_BYTES",
     "varint_lengths",
+    "varint_offsets",
     "encode_varints",
     "decode_varints",
     "zigzag_encode",
@@ -60,6 +61,21 @@ def varint_lengths(values: np.ndarray) -> np.ndarray:
     for k in range(1, MAX_VARINT_BYTES):
         lengths += v >= np.uint64(1 << (7 * k))
     return lengths
+
+
+def varint_offsets(lengths: np.ndarray) -> np.ndarray:
+    """Byte offset of every value boundary in an encoded stream.
+
+    ``offsets[i]`` is where value ``i`` starts and ``offsets[-1]`` the
+    total stream length (``len(lengths) + 1`` entries, ``int64``) —
+    the exclusive-prefix-sum the chunked encoder uses to place block
+    boundaries inside a per-chunk stream.
+    """
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    offsets = np.empty(len(lens) + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(lens, out=offsets[1:])
+    return offsets
 
 
 def encode_varints(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -297,6 +297,28 @@ def _check_store(
             found.extend(
                 _check_result(label, result, ref_diameter, ref_connected)
             )
+        # Memory-budget axis: the same mapped image solved unbounded
+        # (above), with the block cache capped (cached-gather mode),
+        # and with cache retention disabled entirely (streaming-gather)
+        # must agree bit-identically — budgets change wall time and
+        # resident bytes, never answers.
+        if mapped.num_vertices:
+            decoded = mapped.indptr.nbytes + mapped.indices.nbytes
+            budget_axis = (
+                ("store/mmap+capped", FDiamConfig(memory_budget=max(decoded // 2, 1))),
+                ("store/mmap+stream", FDiamConfig(memory_mode="stream")),
+            )
+            for label, config in budget_axis:
+                try:
+                    result = fdiam(mapped, config)
+                except ReproError as exc:
+                    found.append(
+                        Disagreement(label, f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
+                found.extend(
+                    _check_result(label, result, ref_diameter, ref_connected)
+                )
         backing = mapped.backing_store
         if backing is not None:
             backing.close()

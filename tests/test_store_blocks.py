@@ -275,3 +275,173 @@ class TestGatherPathCostModel:
         with open_scsr(stored) as store:
             store.gather_rows(np.array([0, 1, 2]), pool=ws)
         assert ws.stats.buffer_requests > 0
+
+
+class TestByteBudgetCache:
+    """The byte-denominated cache budget and its thrash accounting."""
+
+    def _reference_rows(self, graph, vertices):
+        return gather_neighbors(graph, np.asarray(vertices, dtype=np.int64))
+
+    @pytest.mark.parametrize("retain", [True, False])
+    def test_gather_edge_cases_match_csr_rows(self, tmp_path, retain):
+        """Duplicate sources, empty rows, and block-boundary spans all
+        reproduce the CSRGraph rows under both cached and streaming
+        gathers."""
+        graph, _ = build_fuzz_graph(9, max_vertices=48)
+        path = tmp_path / "g.scsr"
+        block_size = 4
+        save_scsr(graph, path, block_size=block_size)
+        degs = np.diff(graph.indptr)
+        empty = np.flatnonzero(degs == 0)
+        boundary = np.array(
+            [block_size - 1, block_size], dtype=np.int64
+        ) % max(graph.num_vertices, 1)
+        batteries = [
+            np.array([3, 3, 3, 1, 1], dtype=np.int64)
+            % max(graph.num_vertices, 1),
+            boundary,  # request spanning a block boundary
+        ]
+        if len(empty):
+            batteries.append(np.repeat(empty[:1], 3))
+        with open_scsr(path) as store:
+            for frontier in batteries:
+                got, lengths = store.gather_rows(frontier, retain=retain)
+                want = self._reference_rows(graph, frontier)
+                assert np.array_equal(got, np.asarray(want, dtype=np.int64))
+                assert np.array_equal(lengths, degs[frontier])
+
+    def test_streaming_gather_never_populates_the_cache(self, analog, stored):
+        rng = np.random.default_rng(7)
+        frontier = rng.integers(0, analog.num_vertices, size=300)
+        with open_scsr(stored) as store:
+            store.gather_rows(frontier, retain=False)
+            assert store.cache_resident_bytes == 0
+            assert store.stats.blocks_decoded > 0
+            # A cached block IS still served to a streaming gather.
+            store.decode_block(0)
+            before = store.stats.block_hits
+            store.gather_rows(np.array([0]), retain=False)
+            assert store.stats.block_hits == before + 1
+
+    def test_byte_budget_bounds_residency_and_counts_thrash(
+        self, analog, stored
+    ):
+        rng = np.random.default_rng(11)
+        frontier = rng.integers(0, analog.num_vertices, size=2000)
+        budget = 4096
+        with open_scsr(stored) as store:
+            store.set_cache_budget(budget)
+            assert store.cache_budget == budget
+            store.gather_rows(frontier)
+            assert store.cache_resident_bytes <= budget
+            assert store.stats.evictions > 0
+            # The same frontier again: evicted blocks re-decode and the
+            # thrash counters say so.
+            store.gather_rows(frontier)
+            assert store.stats.redecoded_blocks > 0
+            assert 0.0 < store.stats.thrash_rate <= 1.0
+            assert store.stats.decode_seconds > 0.0
+            assert store.stats.decode_bandwidth > 0.0
+
+    def test_zero_budget_keeps_cache_empty_after_trim(self, analog, stored):
+        with open_scsr(stored) as store:
+            store.gather_rows(np.arange(50, dtype=np.int64))
+            assert store.cache_resident_bytes > 0
+            store.set_cache_budget(0)
+            assert store.cache_resident_bytes == 0
+
+    def test_open_with_cache_bytes_budget(self, stored):
+        from repro.store import CompressedCSR
+
+        store = CompressedCSR.from_buffer(
+            __import__("pathlib").Path(stored).read_bytes(), cache_bytes=2048
+        )
+        assert store.cache_budget == 2048
+        store.gather_rows(np.arange(200, dtype=np.int64))
+        # The decode path protects the just-inserted block, so residency
+        # may overshoot by at most that one entry; an explicit re-trim
+        # enforces the budget strictly.
+        assert store.stats.evictions > 0
+        store.set_cache_budget(2048)
+        assert store.cache_resident_bytes <= 2048
+
+
+class TestKernelMemoryModes:
+    """memory_budget / memory_mode routing on the traversal kernel."""
+
+    def test_mode_and_budget_validated(self, analog):
+        with pytest.raises(AlgorithmError):
+            TraversalKernel(analog, memory_mode="bogus")
+        with pytest.raises(AlgorithmError):
+            TraversalKernel(analog, memory_budget=-1)
+
+    def test_forced_block_modes_require_a_store(self, analog):
+        for mode in ("cached", "stream"):
+            with pytest.raises(AlgorithmError):
+                TraversalKernel(analog, memory_mode=mode)
+
+    def test_auto_resolution_tracks_the_budget(self, analog, stored):
+        graph = load_scsr(stored, mmap=True)
+        try:
+            decoded = graph.indptr.nbytes + graph.indices.nbytes
+            assert TraversalKernel(graph).memory_mode == "decode"
+            assert (
+                TraversalKernel(graph, memory_budget=decoded * 4).memory_mode
+                == "decode"
+            )
+            assert (
+                TraversalKernel(
+                    graph, memory_budget=decoded // 4
+                ).memory_mode
+                == "cached"
+            )
+            assert (
+                # Below even the 1/16384 cache floor: route to stream.
+                TraversalKernel(graph, memory_budget=1).memory_mode
+                == "stream"
+            )
+        finally:
+            graph.backing_store.close()
+
+    def test_plain_graph_ignores_the_budget(self, analog):
+        kernel = TraversalKernel(analog, memory_budget=1)
+        assert kernel.memory_mode == "decode"
+
+    @pytest.mark.parametrize("mode", ["cached", "stream"])
+    def test_bfs_bit_identical_under_pressure(self, analog, stored, mode):
+        reference = TraversalKernel(analog)
+        graph = load_scsr(stored, mmap=True)
+        try:
+            kernel = TraversalKernel(
+                graph,
+                memory_mode=mode,
+                memory_budget=4096 if mode == "cached" else None,
+            )
+            for source in (0, analog.max_degree_vertex()):
+                want = reference.bfs(source)
+                got = kernel.bfs(source)
+                assert got.eccentricity == want.eccentricity
+                assert got.visited_count == want.visited_count
+            ws = kernel.workspace.stats
+            assert ws.store_blocks_decoded > 0
+            if mode == "stream":
+                assert graph.backing_store.cache_resident_bytes == 0
+        finally:
+            graph.backing_store.close()
+
+    def test_fdiam_bit_identical_across_budgets(self, analog, stored):
+        from repro.core.config import FDiamConfig
+        from repro.core.fdiam import fdiam
+
+        want = fdiam(analog)
+        graph = load_scsr(stored, mmap=True)
+        try:
+            decoded = graph.indptr.nbytes + graph.indices.nbytes
+            for budget in (None, decoded // 4, 1024):
+                got = fdiam(graph, FDiamConfig(memory_budget=budget))
+                assert got.diameter == want.diameter
+            forced = fdiam(graph, FDiamConfig(memory_mode="stream"))
+            assert forced.diameter == want.diameter
+        finally:
+            graph.backing_store.close()
