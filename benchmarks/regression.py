@@ -224,6 +224,38 @@ def _stage_query_batch(graph, repeats):
     }
 
 
+def _stage_query_service_load(graph, repeats):
+    """Coalescing query service under 64 concurrent clients.
+
+    Boots an in-process :class:`repro.service.QueryService`, replays a
+    200-request zipf-skewed trace through 64 keep-alive HTTP clients,
+    and audits every served answer against a cold serial engine (the
+    run fails outright on a mismatch). The counters here are
+    timing-dependent — how arrivals land in batching windows varies
+    per run — so the record deliberately uses ``service_``-prefixed
+    key names that stay out of the strict ``--compare`` gate
+    (:data:`STRICT_KEYS`); the hard assertions live in
+    ``--service-check``.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from load_service import run_load
+
+    record = None
+    for _ in range(repeats):
+        record = run_load(
+            {graph.name or "primary": graph},
+            n_requests=200,
+            concurrency=64,
+            verify=True,
+        )
+        if record["mismatches"]:
+            raise RuntimeError(
+                f"{record['mismatches']} served answers diverged from "
+                "the serial oracle"
+            )
+    return record
+
+
 def _stage_scaling_curve(graph, repeats):
     """Measured workers × wall_s curve of the shared-memory sweep backend.
 
@@ -530,6 +562,7 @@ STAGES = {
     "fdiam_prep": (_stage_fdiam_prep, True),
     "fdiam_warm": (_stage_fdiam_warm, True),
     "query_batch": (_stage_query_batch, True),
+    "query_service_load": (_stage_query_service_load, True),
     "spectrum_scalar": (lambda g, r: _stage_spectrum(g, r, 0), False),
     "spectrum_lanes64": (lambda g, r: _stage_spectrum(g, r, 64), True),
     "sumsweep_scalar": (lambda g, r: _stage_sumsweep(g, r, 0), False),
@@ -852,6 +885,47 @@ def out_of_core_check(graph_name: str = "road-1M") -> int:
     return 1
 
 
+def service_check(graphs=SMOKE_GRAPHS, *, requests: int = 200) -> int:
+    """CI gate for the coalescing service (``--service-check``).
+
+    Boots the service on each pinned analog, fires ``requests``
+    queries from 64 concurrent clients, and fails unless every request
+    was served, the coalescing batch scheduler replaced at least 4
+    scalar gather passes per physical sweep (the ISSUE's acceptance
+    bar), and every served answer matched the cold serial oracle
+    bit-for-bit. Latency percentiles are printed for the record but
+    not gated — CI wall clocks are noise.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from load_service import run_load
+
+    failures = 0
+    for name in graphs:
+        graph = get_workload(name).graph
+        record = run_load(
+            {name: graph}, n_requests=requests, concurrency=64, verify=True
+        )
+        line = (
+            f"{name}: {record['requests']} requests, "
+            f"{record['qps']} qps, "
+            f"coalescing {record['coalescing_ratio']}x, "
+            f"gather-pass {record['gather_pass_ratio']}x, "
+            f"p50 {record['p50_ms']} ms, p99 {record['p99_ms']} ms, "
+            f"{record['mismatches']} mismatches"
+        )
+        ok = (
+            record["mismatches"] == 0
+            and record["gather_pass_ratio"] >= 4.0
+            and record["coalescing_ratio"] >= 4.0
+        )
+        if ok:
+            print(f"service-check OK: {line}")
+        else:
+            print(f"SERVICE-CHECK FAIL: {line}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -907,8 +981,17 @@ def main(argv=None) -> int:
         "analog only (block cache capped to 1/8 of the image; budgeted "
         "diameter must match in-memory; no snapshot written)",
     )
+    parser.add_argument(
+        "--service-check",
+        action="store_true",
+        help="coalescing-service assertion only: 200 queries from 64 "
+        "concurrent clients must coalesce >= 4x with zero mismatches "
+        "against the serial oracle (no snapshot written)",
+    )
     args = parser.parse_args(argv)
 
+    if args.service_check:
+        return service_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.warm_check:
         return warm_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.scaling_check:

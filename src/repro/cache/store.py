@@ -168,6 +168,15 @@ class WarmStartStore:
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
+        #: Lifetime counters (surfaced by the serving layer's /stats):
+        #: ``loads`` attempts, ``hits`` usable artifacts, ``saves``.
+        self.loads = 0
+        self.hits = 0
+        self.saves = 0
+
+    def counters(self) -> dict:
+        """JSON-friendly load/hit/save totals."""
+        return {"loads": self.loads, "hits": self.hits, "saves": self.saves}
 
     def path_for(self, digest: str) -> Path:
         """Sidecar path for a graph digest."""
@@ -184,6 +193,7 @@ class WarmStartStore:
         without ever being fatal.
         """
         digest = digest or graph_digest(graph)
+        self.loads += 1
         path = self.path_for(digest)
         if not path.exists():
             return None
@@ -214,6 +224,7 @@ class WarmStartStore:
                 stacklevel=2,
             )
             return None
+        self.hits += 1
         return art
 
     def save(self, artifacts: WarmArtifacts) -> Path:
@@ -224,4 +235,5 @@ class WarmStartStore:
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **artifacts.to_npz_dict())
         os.replace(tmp, path)
+        self.saves += 1
         return path

@@ -31,6 +31,7 @@ __all__ = [
     "build_convert_parser",
     "build_fuzz_parser",
     "build_query_parser",
+    "build_serve_parser",
     "format_bytes",
 ]
 
@@ -359,6 +360,185 @@ def build_query_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "always-on graph-query server: coalesces concurrent "
+            "dist/ecc/diam queries into shared 64-lane sweeps "
+            "(POST /query, GET /stats, GET /graphs, GET /healthz)"
+        ),
+    )
+    parser.add_argument(
+        "graphs",
+        nargs="+",
+        metavar="[KEY=]PATH",
+        help="graph files to serve (.el/.txt, .gr, .graph, .npz, .scsr), "
+        "optionally prefixed with the key clients query it under "
+        "(default: the file stem); graphs open lazily on first query",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=4.0,
+        metavar="MS",
+        help="batching-window ceiling: how long the first query of a "
+        "batch waits for company (default 4 ms)",
+    )
+    parser.add_argument(
+        "--min-window-ms",
+        type=float,
+        default=0.5,
+        metavar="MS",
+        help="adaptive-window floor (default 0.5 ms)",
+    )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="always wait the full window instead of scaling it with "
+        "the measured arrival rate",
+    )
+    parser.add_argument(
+        "--batch-limit",
+        type=int,
+        default=256,
+        metavar="K",
+        help="dispatch a window early once K queries are pending "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="K",
+        help="admission control: shed queries (429) beyond K pending "
+        "across all graphs (default 1024)",
+    )
+    parser.add_argument(
+        "--resident-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for resident graphs: least-recently-queried "
+        "graphs are evicted (and reopened on demand) to stay under it "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-graph decoded-adjacency budget for .scsr graphs "
+        "served via --mmap (block-decode routing; see repro --help)",
+    )
+    parser.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=256,
+        metavar="K",
+        help="maximum sources per physical sweep chunk (default 256)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes for each graph's sweep dispatch "
+        "(default 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="warm-start store directory: preload memos/diameters from "
+        "sidecars and persist the hottest rows on shutdown",
+    )
+    parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read graphs fully into memory instead of memory-mapping "
+        "binary containers",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``serve`` subcommand; returns the exit code."""
+    import asyncio
+    import os
+
+    args = build_serve_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    # Call-time imports: the service stack is only paid for when serving.
+    from repro.service import QueryService, SchedulerConfig
+
+    try:
+        config = SchedulerConfig(
+            window_s=args.window_ms / 1e3,
+            min_window_s=min(args.min_window_ms, args.window_ms) / 1e3,
+            adaptive=not args.no_adaptive,
+            batch_limit=args.batch_limit,
+            max_pending=args.max_pending,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    if args.cache is not None:
+        from repro.cache import WarmStartStore
+
+        store = WarmStartStore(args.cache)
+    service = QueryService(
+        store=store,
+        config=config,
+        byte_budget=args.resident_budget,
+        memory_budget=args.memory_budget,
+        batch_lanes=args.batch_lanes,
+        workers=args.workers,
+    )
+    for spec in args.graphs:
+        key, sep, path = spec.partition("=")
+        if not sep:
+            key, path = None, spec
+        if not os.path.exists(path):
+            print(f"error: graph file {path!r} not found", file=sys.stderr)
+            return 2
+        key = key or os.path.splitext(os.path.basename(path))[0]
+        service.add_graph(key, path=path, mmap=not args.no_mmap)
+        print(f"serving {key!r} <- {path}")
+
+    async def run() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(
+            f"listening on http://{host}:{port} "
+            f"(window {args.window_ms} ms, batch limit "
+            f"{args.batch_limit}, max pending {args.max_pending})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_fuzz_parser() -> argparse.ArgumentParser:
     """The ``python -m repro fuzz`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -566,6 +746,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "query":
         return query_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
     if argv and argv[0] == "convert":

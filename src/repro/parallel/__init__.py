@@ -22,6 +22,7 @@ from repro.parallel.scaling import (
 from repro.parallel.shm import SharedCSR, shm_available
 from repro.parallel.sweep import (
     BitparallelSweepExecutor,
+    ExecutorCounters,
     MultiprocessSweepExecutor,
     SerialSweepExecutor,
     SweepExecutor,
@@ -35,6 +36,7 @@ __all__ = [
     "ChunkAssignment",
     "ChunkedExecutor",
     "CostModelParams",
+    "ExecutorCounters",
     "LevelSynchronousCostModel",
     "MeasuredPoint",
     "MultiprocessSweepExecutor",

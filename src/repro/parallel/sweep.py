@@ -60,6 +60,7 @@ from repro.parallel.costmodel import LANE_WIDTH, LevelSynchronousCostModel
 from repro.parallel.shm import SharedCSR, attach_segment, create_segment, destroy_segment, shm_available
 
 __all__ = [
+    "ExecutorCounters",
     "SweepInfo",
     "SweepExecutor",
     "SerialSweepExecutor",
@@ -118,11 +119,44 @@ class SweepInfo:
     eccentricities: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
 
+@dataclass
+class ExecutorCounters:
+    """Lifetime totals of one :class:`SweepExecutor`.
+
+    Every :meth:`SweepExecutor.distance_rows` round accumulates its
+    :class:`SweepInfo` here, so a long-lived executor (the query
+    engine's per-graph dispatcher, the serving layer's ``/stats``
+    endpoint) can report cumulative amortization without the caller
+    threading per-round infos around.
+    """
+
+    rounds: int = 0
+    traversals: int = 0
+    sweeps: int = 0
+    edges_examined: int = 0
+
+    def account(self, info: SweepInfo) -> None:
+        self.rounds += 1
+        self.traversals += info.traversals
+        self.sweeps += info.sweeps
+        self.edges_examined += info.edges_examined
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view (the ``/stats`` payload shape)."""
+        return {
+            "rounds": self.rounds,
+            "traversals": self.traversals,
+            "sweeps": self.sweeps,
+            "edges_examined": self.edges_examined,
+        }
+
+
 class SweepExecutor:
     """Abstract dispatcher for rounds of independent BFS sources.
 
     Concrete backends implement :meth:`distance_rows`; everything else
-    (round sizing, context management, close) is shared. Executors are
+    (round sizing, context management, close, the cumulative
+    :attr:`counters`) is shared. Executors are
     deterministic: the distance matrix depends only on the graph and
     the source list, never on the backend, worker count, or chunk
     partitioning — which is what lets the verify layer treat backend
@@ -134,6 +168,8 @@ class SweepExecutor:
     def __init__(self, graph: CSRGraph, *, kernel: TraversalKernel | None = None):
         self.graph = graph
         self.kernel = kernel if kernel is not None else TraversalKernel(graph)
+        #: Lifetime round/traversal/sweep totals across distance_rows calls.
+        self.counters = ExecutorCounters()
         if self.kernel.graph is not graph:
             raise AlgorithmError("sweep executor kernel is bound to a different graph")
 
@@ -194,6 +230,7 @@ class SerialSweepExecutor(SweepExecutor):
             lane_occupancy=1.0 if k else 0.0,
             eccentricities=ecc,
         )
+        self.counters.account(info)
         return dist, info
 
 
@@ -237,6 +274,7 @@ class BitparallelSweepExecutor(SweepExecutor):
             ),
             eccentricities=ecc,
         )
+        self.counters.account(info)
         return dist, info
 
 
@@ -453,6 +491,7 @@ class MultiprocessSweepExecutor(SweepExecutor):
             lane_occupancy=occ_sum / nsweeps if nsweeps else 0.0,
             eccentricities=ecc,
         )
+        self.counters.account(info)
         return dist, info
 
     def close(self) -> None:

@@ -28,8 +28,16 @@ from repro.graph.io import graph_digest
 __all__ = ["BatchStats", "QueryEngine", "parse_query"]
 
 
-def parse_query(query) -> tuple:
-    """Normalize one query into a ``("dist"|"ecc"|"diam", ...)`` tuple."""
+def parse_query(query, *, num_vertices: int | None = None) -> tuple:
+    """Normalize one query into a ``("dist"|"ecc"|"diam", ...)`` tuple.
+
+    Vertex ids must be non-negative and — when ``num_vertices`` is
+    given — below it. Violations raise :class:`AlgorithmError` here,
+    at parse time, rather than deep inside a sweep: the serving layer
+    rejects a bad query with a structured 400 *before* it joins a
+    coalesced batch, so one malformed request can never poison the
+    in-flight queries it would have shared a sweep with.
+    """
     if isinstance(query, str):
         parts = query.split()
     else:
@@ -37,18 +45,30 @@ def parse_query(query) -> tuple:
     if not parts:
         raise AlgorithmError("empty query")
     kind = str(parts[0]).lower()
+    parsed = None
     try:
         if kind == "dist" and len(parts) == 3:
-            return ("dist", int(parts[1]), int(parts[2]))
-        if kind == "ecc" and len(parts) == 2:
-            return ("ecc", int(parts[1]))
-        if kind == "diam" and len(parts) == 1:
-            return ("diam",)
+            parsed = ("dist", int(parts[1]), int(parts[2]))
+        elif kind == "ecc" and len(parts) == 2:
+            parsed = ("ecc", int(parts[1]))
+        elif kind == "diam" and len(parts) == 1:
+            parsed = ("diam",)
     except (TypeError, ValueError) as exc:
         raise AlgorithmError(f"malformed query {query!r}: {exc}") from None
-    raise AlgorithmError(
-        f"malformed query {query!r}; expected 'dist U V', 'ecc V', or 'diam'"
-    )
+    if parsed is None:
+        raise AlgorithmError(
+            f"malformed query {query!r}; expected 'dist U V', 'ecc V', or 'diam'"
+        )
+    for v in parsed[1:]:
+        if v < 0:
+            raise AlgorithmError(
+                f"malformed query {query!r}: vertex id {v} is negative"
+            )
+        if num_vertices is not None and v >= num_vertices:
+            raise AlgorithmError(
+                f"query vertex {v} out of range for n={num_vertices}"
+            )
+    return parsed
 
 
 @dataclass
@@ -66,6 +86,9 @@ class BatchStats:
     scalar_traversals: int = 0
     sweeps: int = 0
     bfs_sources: int = 0  # distinct sources actually swept this batch
+    #: Queries answered without any traversal: memoized distance rows
+    #: plus ``diam`` queries served from the per-graph diameter memo
+    #: (a previous batch's resolution or the store's sidecar).
     memo_hits: int = 0
     edges_examined: int = 0
     lane_occupancy: float = 0.0
@@ -196,6 +219,37 @@ class QueryEngine:
             evicted.close()
         return key
 
+    def remove_graph(self, key: str) -> bool:
+        """Drop ``key`` from the registry, closing its executor.
+
+        Returns whether the key was registered. The graph's backing
+        store (if any) stays open — whoever opened the file owns it;
+        the serving layer's byte-budgeted registry closes it after
+        calling this.
+        """
+        entry = self._graphs.pop(key, None)
+        if entry is None:
+            return False
+        entry.close()
+        return True
+
+    def graph_keys(self) -> list[str]:
+        """Registered graph keys, least- to most-recently used."""
+        return list(self._graphs)
+
+    def executor_counters(self) -> dict:
+        """Per-graph cumulative sweep-executor counters.
+
+        Only graphs whose executor has been built (i.e. that swept at
+        least one fresh source) appear; the serving layer's ``/stats``
+        endpoint merges this with its own batch accounting.
+        """
+        return {
+            key: entry.executor.counters.snapshot()
+            for key, entry in self._graphs.items()
+            if entry.executor is not None
+        }
+
     def _entry(self, key: str) -> _GraphEntry:
         if key not in self._graphs:
             raise AlgorithmError(f"unknown graph {key!r}; add_graph() it first")
@@ -245,20 +299,15 @@ class QueryEngine:
         """
         entry = self._entry(key)
         n = entry.graph.num_vertices
-        parsed = [parse_query(q) for q in queries]
+        parsed = [parse_query(q, num_vertices=n) for q in queries]
         stats = BatchStats(queries=len(parsed))
 
-        need_diam = False
+        diam_queries = 0
         wanted: list[int] = []
         for q in parsed:
             if q[0] == "diam":
-                need_diam = True
+                diam_queries += 1
                 continue
-            for v in q[1:]:
-                if not 0 <= v < n:
-                    raise AlgorithmError(
-                        f"query vertex {v} out of range for n={n}"
-                    )
             # One scalar BFS from the (first) named vertex answers the
             # query, which is exactly what the batched path amortizes.
             stats.scalar_traversals += 1
@@ -288,8 +337,13 @@ class QueryEngine:
         else:
             rows = {}
 
-        if need_diam and entry.diameter is None:
-            entry.diameter = self._compute_diameter(entry, stats)
+        if diam_queries:
+            if entry.diameter is None:
+                entry.diameter = self._compute_diameter(entry, stats)
+            else:
+                # Memoized per graph across batches: every later diam
+                # answer is O(1) (the serving layer's hottest query).
+                stats.memo_hits += diam_queries
 
         answers: list[int] = []
         for q in parsed:

@@ -1,0 +1,116 @@
+"""Minimal asyncio HTTP/JSON client for the query service.
+
+The load harness, the CI service gate, and the tests all talk to the
+server through this: one keep-alive connection per client instance
+(mirroring a real caller with a connection pool of one), JSON in/out,
+no third-party dependencies. Not a general HTTP client — exactly the
+subset the service speaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import AlgorithmError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One persistent connection to a :class:`QueryService`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round trip; reconnects once if the connection went stale."""
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await self._roundtrip(method, path, payload)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _roundtrip(self, method, path, payload):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise AlgorithmError(
+                f"malformed status line {status_line!r} from the service"
+            )
+        status = int(parts[1])
+        headers = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        raw_body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        payload = json.loads(raw_body) if raw_body else {}
+        return status, payload
+
+    # ------------------------------------------------------------------
+    async def query(self, graph: str, *queries) -> tuple[int, dict]:
+        """POST /query with one or more query strings."""
+        return await self.request(
+            "POST", "/query", {"graph": graph, "queries": list(queries)}
+        )
+
+    async def stats(self) -> dict:
+        status, payload = await self.request("GET", "/stats")
+        if status != 200:
+            raise AlgorithmError(f"/stats returned {status}: {payload}")
+        return payload

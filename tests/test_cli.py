@@ -126,3 +126,84 @@ class TestFuzzCLI:
     def test_replay_missing_file(self, capsys):
         assert main(["fuzz", "--replay", "/nonexistent/x.npz"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    def test_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["g.npz"])
+        assert args.graphs == ["g.npz"]
+        assert args.window_ms == 4.0
+        assert args.batch_limit == 256
+        assert args.max_pending == 1024
+        assert not args.no_adaptive
+
+    def test_missing_graph_file(self, capsys):
+        assert main(["serve", "/nonexistent/g.npz"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_window_config(self, grid_file, capsys):
+        code = main([
+            "serve", grid_file, "--window-ms", "-1",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serves_and_answers(self, tmp_path):
+        """Boot `repro serve` in a subprocess, query it, shut down."""
+        import asyncio
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        from repro.service import ServiceClient
+
+        path = tmp_path / "grid.npz"
+        save_npz(grid_2d(8, 8), str(path))
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", f"grid={path}",
+                "--port", "0", "--window-ms", "1", "--no-mmap",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line and proc.poll() is not None:
+                    break
+                m = re.search(r"listening on http://127\.0\.0\.1:(\d+)", line)
+                if m:
+                    port = int(m.group(1))
+                    break
+            assert port is not None, "server never reported its port"
+
+            async def ask():
+                async with ServiceClient("127.0.0.1", port) as client:
+                    status, payload = await client.query(
+                        "grid", "dist 0 63", "diam"
+                    )
+                    assert status == 200, payload
+                    return payload["answers"]
+
+            answers = asyncio.run(ask())
+            assert answers == [14, 14]  # corner-to-corner on an 8x8 grid
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -94,8 +94,22 @@ class TestAnswers:
         key = engine.add_graph(graph)
         with pytest.raises(AlgorithmError, match="out of range"):
             engine.run(key, [f"ecc {graph.num_vertices}"])
-        with pytest.raises(AlgorithmError, match="out of range"):
+        with pytest.raises(AlgorithmError, match="negative"):
             engine.run(key, ["dist 0 -1"])
+
+    def test_validation_happens_at_parse_time(self, graph):
+        # The serving layer rejects a bad query *before* it joins a
+        # coalesced batch, so the errors must come from parse_query
+        # itself, not from deep inside the sweep.
+        with pytest.raises(AlgorithmError, match="negative"):
+            parse_query("ecc -3")
+        with pytest.raises(AlgorithmError, match="negative"):
+            parse_query(("dist", 0, -1))
+        with pytest.raises(AlgorithmError, match="out of range"):
+            parse_query("dist 0 500", num_vertices=200)
+        with pytest.raises(AlgorithmError, match="out of range"):
+            parse_query("ecc 200", num_vertices=200)
+        assert parse_query("dist 0 199", num_vertices=200) == ("dist", 0, 199)
 
     def test_unknown_key_rejected(self):
         with pytest.raises(AlgorithmError, match="add_graph"):
@@ -154,6 +168,9 @@ class TestAccounting:
         second_answers, second = engine.run(key, ["diam", "diam"])
         assert second_answers == first_answers * 2
         assert second.sweeps == 0  # memoized diameter is free
+        assert second.memo_hits == 2  # both served from the diam memo
+        # The resolving batch itself is not a memo hit.
+        assert first.memo_hits == 0
 
     def test_empty_batch(self, graph):
         engine = QueryEngine()
@@ -180,6 +197,21 @@ class TestRegistry:
         with pytest.raises(AlgorithmError, match="unknown graph"):
             engine.run(b, ["ecc 0"])
         engine.run(a, ["ecc 0"])  # survivor still answers
+
+    def test_remove_graph(self):
+        engine = QueryEngine()
+        key = engine.add_graph(path_graph(5), key="a")
+        engine.run(key, ["ecc 0"])
+        assert engine.remove_graph(key) is True
+        assert engine.remove_graph(key) is False
+        assert key not in engine.graph_keys()
+        with pytest.raises(AlgorithmError, match="unknown graph"):
+            engine.run(key, ["ecc 0"])
+        # Re-adding after removal works (the serving registry's
+        # evict-then-reopen path).
+        engine.add_graph(path_graph(5), key="a")
+        answers, _ = engine.run(key, ["ecc 0"])
+        assert answers == [4]
 
     def test_invalid_parameters(self):
         with pytest.raises(AlgorithmError):
