@@ -371,6 +371,80 @@ def _stage_sumsweep(graph, repeats, lanes):
     }
 
 
+def _churn_batches(graph, *, batches: int = 8, batch_size: int = 4):
+    """Deterministic insert-only batches of absent edges for ``graph``."""
+    rng = np.random.default_rng(0xC40)
+    n = graph.num_vertices
+    out, used = [], set()
+    for _ in range(batches):
+        batch = []
+        while len(batch) < batch_size:
+            u, v = (int(x) for x in rng.integers(n, size=2))
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in used or graph.has_edge(*edge):
+                continue
+            used.add(edge)
+            batch.append(edge)
+        out.append(batch)
+    return out
+
+
+def _run_churn(graph, batches):
+    """Insert-only churn: incremental repair vs per-batch cold recompute.
+
+    Returns the accumulated counters plus a correctness flag — every
+    repaired diameter is compared against a cold ``fdiam`` of the same
+    epoch's view, so the bench doubles as an end-to-end check.
+    """
+    from repro.dynamic import DynamicDiameter, DynamicGraph
+
+    dgraph = DynamicGraph(graph)
+    maintainer = DynamicDiameter(dgraph)
+    maintainer.refresh()  # cold initial state, outside the comparison
+    repair_bfs = recompute_bfs = 0
+    strategies = {"repair": 0, "recompute": 0}
+    mismatches = 0
+    for batch in batches:
+        dgraph.apply(inserts=batch)
+        stats = maintainer.refresh()
+        repair_bfs += stats.bfs_traversals
+        strategies[stats.strategy] = strategies.get(stats.strategy, 0) + 1
+        cold = fdiam(dgraph.view())
+        recompute_bfs += cold.stats.bfs_traversals
+        if (maintainer.diameter, maintainer.infinite) != (
+            cold.diameter,
+            cold.infinite,
+        ):
+            mismatches += 1
+    return {
+        "batches": len(batches),
+        "repair_bfs": repair_bfs,
+        "recompute_bfs": recompute_bfs,
+        "bfs_ratio_vs_recompute": round(recompute_bfs / max(repair_bfs, 1), 3),
+        "repairs": strategies.get("repair", 0),
+        "recomputes": strategies.get("recompute", 0),
+        "mismatches": mismatches,
+        "diameter": maintainer.diameter,
+    }
+
+
+def _stage_dynamic_churn(graph, repeats):
+    """Repair cost under insert-only edge churn (see ISSUE 10).
+
+    Eight deterministic 4-edge insert-only batches; ``repair_bfs`` is
+    what the maintainer actually spent, ``recompute_bfs`` what a cold
+    run after every batch would have spent. The headline ratio must
+    stay > 1 on the small-diameter analog (gated by ``--churn-check``).
+    """
+    batches = _churn_batches(graph)
+    wall, record = _timed(lambda: _run_churn(graph, batches), repeats)
+    record["wall_s"] = wall
+    record["bfs_count"] = record["repair_bfs"]  # strict-gated counter
+    return record
+
+
 def _peak_rss_mb() -> float | None:
     """Process high-water RSS in MB (``ru_maxrss`` is KiB on Linux)."""
     if resource is None:  # pragma: no cover - non-POSIX
@@ -570,6 +644,7 @@ STAGES = {
     "scaling_curve": (_stage_scaling_curve, True),
     "store_compress": (_stage_store_compress, True),
     "fdiam_scsr": (_stage_fdiam_scsr, True),
+    "dynamic_churn": (_stage_dynamic_churn, True),
 }
 
 
@@ -926,6 +1001,38 @@ def service_check(graphs=SMOKE_GRAPHS, *, requests: int = 200) -> int:
     return 1 if failures else 0
 
 
+def churn_check(graphs=SMOKE_GRAPHS) -> int:
+    """CI gate for dynamic maintenance (``--churn-check``).
+
+    Replays the pinned insert-only churn batches on each analog and
+    fails unless every repaired diameter matched a cold recompute of
+    the same epoch, and — on the small-diameter internet analog, where
+    incremental repair is supposed to earn its keep — the maintainer
+    spent strictly fewer BFS than recomputing after every batch.
+    """
+    failures = 0
+    for name in graphs:
+        graph = get_workload(name).graph
+        record = _run_churn(graph, _churn_batches(graph))
+        line = (
+            f"{name}: {record['batches']} insert-only batches, "
+            f"repair {record['repair_bfs']} BFS vs recompute "
+            f"{record['recompute_bfs']} BFS "
+            f"({record['bfs_ratio_vs_recompute']}x), "
+            f"{record['repairs']} repairs / {record['recomputes']} "
+            f"recomputes, {record['mismatches']} mismatches"
+        )
+        ok = record["mismatches"] == 0
+        if name == "internet":
+            ok = ok and record["repair_bfs"] < record["recompute_bfs"]
+        if ok:
+            print(f"churn-check OK: {line}")
+        else:
+            print(f"CHURN-CHECK FAIL: {line}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -988,8 +1095,17 @@ def main(argv=None) -> int:
         "concurrent clients must coalesce >= 4x with zero mismatches "
         "against the serial oracle (no snapshot written)",
     )
+    parser.add_argument(
+        "--churn-check",
+        action="store_true",
+        help="dynamic-maintenance assertion only: insert-only churn "
+        "repair must match a cold recompute at every epoch and beat "
+        "it in BFS count on the internet analog (no snapshot written)",
+    )
     args = parser.parse_args(argv)
 
+    if args.churn_check:
+        return churn_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.service_check:
         return service_check(SMOKE_GRAPHS if args.smoke else FULL_GRAPHS)
     if args.warm_check:

@@ -169,14 +169,26 @@ class WarmStartStore:
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         #: Lifetime counters (surfaced by the serving layer's /stats):
-        #: ``loads`` attempts, ``hits`` usable artifacts, ``saves``.
+        #: ``loads`` attempts, ``hits`` usable artifacts, ``saves``,
+        #: and ``stale_rejects`` — artifacts a consumer loaded but then
+        #: refused to reuse because they no longer match the graph
+        #: (e.g. landmark rows whose shape or sources went stale after
+        #: a mutation). Incremented by the rejecting consumer (the
+        #: query engine), not by :meth:`load`, which cannot see what a
+        #: caller will accept.
         self.loads = 0
         self.hits = 0
         self.saves = 0
+        self.stale_rejects = 0
 
     def counters(self) -> dict:
-        """JSON-friendly load/hit/save totals."""
-        return {"loads": self.loads, "hits": self.hits, "saves": self.saves}
+        """JSON-friendly load/hit/save/stale-reject totals."""
+        return {
+            "loads": self.loads,
+            "hits": self.hits,
+            "saves": self.saves,
+            "stale_rejects": self.stale_rejects,
+        }
 
     def path_for(self, digest: str) -> Path:
         """Sidecar path for a graph digest."""

@@ -464,6 +464,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="read graphs fully into memory instead of memory-mapping "
         "binary containers",
     )
+    parser.add_argument(
+        "--mutable",
+        action="store_true",
+        help="serve every graph as a dynamic graph so clients can "
+        "apply batched edge insertions/deletions via POST /mutate",
+    )
     return parser
 
 
@@ -511,8 +517,11 @@ def serve_main(argv: list[str] | None = None) -> int:
             print(f"error: graph file {path!r} not found", file=sys.stderr)
             return 2
         key = key or os.path.splitext(os.path.basename(path))[0]
-        service.add_graph(key, path=path, mmap=not args.no_mmap)
-        print(f"serving {key!r} <- {path}")
+        service.add_graph(
+            key, path=path, mmap=not args.no_mmap, dynamic=args.mutable
+        )
+        suffix = " (mutable)" if args.mutable else ""
+        print(f"serving {key!r} <- {path}{suffix}")
 
     async def run() -> None:
         host, port = await service.start(args.host, args.port)
@@ -611,7 +620,23 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="worker processes for the campaign: W >= 2 fans rounds of "
         "independent trials out over a process pool; the trial-seed "
-        "sequence matches the serial campaign (default 1)",
+        "sequence matches the serial campaign (default 1; static "
+        "campaigns only)",
+    )
+    parser.add_argument(
+        "--mutate",
+        action="store_true",
+        help="fuzz the dynamic-graph stack instead: random insert/delete/"
+        "query interleavings replayed against recompute-from-scratch "
+        "after every batch, failing traces ddmin-shrunk into replayable "
+        "artifacts",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=8,
+        metavar="K",
+        help="mutation batches per trace with --mutate (default 8)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-trial progress"
@@ -654,17 +679,32 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         return 0
 
     progress = None if args.quiet else lambda line: print(line, flush=True)
-    with fault:
-        result = fuzz(
-            seed=args.seed,
-            budget=args.budget,
-            max_trials=args.trials,
-            max_vertices=args.max_vertices,
-            artifact_dir=args.artifacts,
-            shrink=not args.no_shrink,
-            workers=args.workers,
-            progress=progress,
-        )
+    if args.mutate:
+        from repro.verify import fuzz_mutation
+
+        with fault:
+            result = fuzz_mutation(
+                seed=args.seed,
+                budget=args.budget,
+                max_trials=args.trials,
+                max_vertices=args.max_vertices,
+                steps=args.steps,
+                artifact_dir=args.artifacts,
+                shrink=not args.no_shrink,
+                progress=progress,
+            )
+    else:
+        with fault:
+            result = fuzz(
+                seed=args.seed,
+                budget=args.budget,
+                max_trials=args.trials,
+                max_vertices=args.max_vertices,
+                artifact_dir=args.artifacts,
+                shrink=not args.no_shrink,
+                workers=args.workers,
+                progress=progress,
+            )
     families = ", ".join(
         f"{name}×{count}" for name, count in sorted(result.families.items())
     )

@@ -1,0 +1,31 @@
+"""Dynamic-graph layer: edge churn over the static CSR stack.
+
+``repro.dynamic`` turns the package's frozen-graph machinery into an
+evolving-graph service substrate:
+
+* :class:`DynamicGraph` — batched edge insert/delete streams over an
+  immutable CSR base via a delta overlay, with periodic compaction
+  into a rebuilt canonical CSR and an epoch counter that tags every
+  view and digest (see :mod:`repro.dynamic.graph`).
+* :class:`DynamicDiameter` — maintains the exact diameter across
+  mutations by repairing bounds incrementally (insertions only shrink
+  distances, so cached upper bounds survive; one witness BFS plus a
+  candidate sweep re-validates exactly what a batch can break) and
+  falls back to cold :func:`~repro.core.fdiam.fdiam` when deletions
+  invalidate the cached state or the cost model says repair loses
+  (see :mod:`repro.dynamic.diameter`).
+
+Correctness of the whole layer is fuzzed differentially against
+recompute-from-scratch after every batch: ``repro fuzz --mutate``
+(:mod:`repro.verify.mutation`).
+"""
+
+from repro.dynamic.diameter import DynamicDiameter, RepairStats
+from repro.dynamic.graph import DynamicGraph, MutationBatch
+
+__all__ = [
+    "DynamicDiameter",
+    "DynamicGraph",
+    "MutationBatch",
+    "RepairStats",
+]

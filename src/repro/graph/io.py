@@ -529,7 +529,7 @@ def content_digest(*arrays: np.ndarray) -> str:
     return h.hexdigest()
 
 
-def graph_digest(graph: CSRGraph) -> str:
+def graph_digest(graph: CSRGraph, *, epoch: int | None = None) -> str:
     """Cache-key digest of a graph (hex SHA-256).
 
     The key of the warm-start cache (:mod:`repro.cache`): two graphs
@@ -541,9 +541,18 @@ def graph_digest(graph: CSRGraph) -> str:
     since the sidecar records which backing produced the certified
     artifacts). The name is deliberately excluded — renaming a graph
     does not change any distance.
+
+    ``epoch`` makes the digest mutation-aware for evolving graphs
+    (:class:`repro.dynamic.DynamicGraph`): folding the epoch into the
+    key guarantees a sidecar written against one epoch is unreachable
+    from any other, even when an insert-then-delete sequence restores
+    byte-identical arrays. ``None`` (the static default) preserves the
+    historical digests exactly.
     """
     h = hashlib.sha256()
     h.update(f"storage:{graph.storage}\n".encode())
+    if epoch is not None:
+        h.update(f"epoch:{int(epoch)}\n".encode())
     h.update(content_digest(graph.indptr, graph.indices).encode())
     return h.hexdigest()
 

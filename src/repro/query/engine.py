@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.bfs.kernel import TraversalKernel
 from repro.core.config import FDiamConfig
+from repro.dynamic import DynamicDiameter, DynamicGraph, MutationBatch
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.graph.io import graph_digest
@@ -92,6 +93,12 @@ class BatchStats:
     memo_hits: int = 0
     edges_examined: int = 0
     lane_occupancy: float = 0.0
+    #: Graph epoch the batch was answered under (0 for static graphs;
+    #: the mutation counter of a registered
+    #: :class:`~repro.dynamic.DynamicGraph` otherwise). The serving
+    #: layer surfaces it per response so clients can line answers up
+    #: with the mutation stream.
+    epoch: int = 0
 
     @property
     def gather_pass_ratio(self) -> float:
@@ -102,11 +109,36 @@ class BatchStats:
 class _GraphEntry:
     """One registered graph: kernel, memoized rows, cached diameter."""
 
-    __slots__ = ("graph", "kernel", "executor", "memo", "diameter", "digest", "dirty")
+    __slots__ = (
+        "graph",
+        "kernel",
+        "executor",
+        "memo",
+        "diameter",
+        "digest",
+        "dirty",
+        "dynamic",
+        "maintainer",
+        "epoch",
+    )
 
-    def __init__(self, graph: CSRGraph, *, memory_budget: int | None = None):
-        self.graph = graph
-        self.kernel = TraversalKernel(graph, memory_budget=memory_budget)
+    def __init__(self, graph, *, memory_budget: int | None = None):
+        #: The mutable handle when registered as a DynamicGraph
+        #: (``None`` for static entries).
+        self.dynamic: DynamicGraph | None = (
+            graph if isinstance(graph, DynamicGraph) else None
+        )
+        #: Incremental diameter maintainer (dynamic entries only).
+        self.maintainer: DynamicDiameter | None = (
+            DynamicDiameter(graph) if self.dynamic is not None else None
+        )
+        self.epoch = graph.epoch if self.dynamic is not None else 0
+        #: The immutable CSR every sweep runs on: the graph itself for
+        #: static entries, the current epoch's view for dynamic ones.
+        self.graph: CSRGraph = (
+            graph.view() if self.dynamic is not None else graph
+        )
+        self.kernel = TraversalKernel(self.graph, memory_budget=memory_budget)
         #: Lazily built sweep executor (see QueryEngine._executor_for).
         self.executor = None
         #: source vertex -> int32 distance row, LRU-ordered.
@@ -114,6 +146,27 @@ class _GraphEntry:
         self.diameter: int | None = None
         self.digest: str | None = None
         self.dirty = False  # memo rows not yet flushed to the store
+
+    def advance_epoch(self, *, memory_budget: int | None = None) -> None:
+        """Epoch-tagged invalidation after a mutation batch.
+
+        Everything derived from the previous epoch's adjacency is
+        dropped or rebuilt: memoized distance rows (stale rows are
+        upper/lower bounds, not answers), the cached diameter (the
+        maintainer repairs it lazily on the next ``diam`` query), the
+        kernel and executor (they hold the old CSR arrays), and the
+        digest (so sidecar traffic can never alias epochs).
+        """
+        assert self.dynamic is not None
+        self.epoch = self.dynamic.epoch
+        self.graph = self.dynamic.view()
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+        self.kernel = TraversalKernel(self.graph, memory_budget=memory_budget)
+        self.memo.clear()
+        self.diameter = None
+        self.dirty = False
 
     def close(self) -> None:
         if self.executor is not None:
@@ -178,23 +231,33 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Registry
     # ------------------------------------------------------------------
-    def add_graph(self, graph: CSRGraph, key: str | None = None) -> str:
-        """Register ``graph`` under ``key`` (default: its name).
+    def add_graph(self, graph, key: str | None = None) -> str:
+        """Register a graph under ``key`` (default: its name).
 
-        Re-registering an existing key replaces the entry. With a store
-        attached, the graph's sidecar (if any) seeds the memo with the
-        cached landmark rows and the cached diameter.
+        ``graph`` may be a static :class:`CSRGraph` or a
+        :class:`~repro.dynamic.DynamicGraph`; only the latter accepts
+        :meth:`mutate` batches. Re-registering an existing key replaces
+        the entry. With a store attached, the graph's sidecar (if any)
+        seeds the memo with the cached landmark rows and the cached
+        diameter — keyed by the epoch-aware digest for dynamic graphs,
+        so a sidecar from another epoch can never seed anything.
         """
         key = key if key is not None else graph.name
         entry = _GraphEntry(graph, memory_budget=self.memory_budget)
         if self.store is not None:
-            entry.digest = graph_digest(graph)
-            art = self.store.load(graph, digest=entry.digest)
+            entry.digest = (
+                graph.digest()
+                if entry.dynamic is not None
+                else graph_digest(graph)
+            )
+            art = self.store.load(entry.graph, digest=entry.digest)
             if art is not None:
                 entry.diameter = int(art.diameter)
+                if entry.maintainer is not None:
+                    entry.maintainer.seed_from_artifacts(art)
                 sources = np.asarray(art.landmark_sources, dtype=np.int64)
                 dists = np.asarray(art.landmark_dists, dtype=np.int32)
-                n = graph.num_vertices
+                n = entry.graph.num_vertices
                 usable = dists.shape == (len(sources), n) and bool(
                     ((sources >= 0) & (sources < n)).all()
                 )
@@ -202,6 +265,8 @@ class QueryEngine:
                     for j, s in enumerate(sources.tolist()):
                         self._memoize(entry, int(s), dists[j])
                 elif len(sources):
+                    if hasattr(self.store, "stale_rejects"):
+                        self.store.stale_rejects += 1
                     warnings.warn(
                         f"discarding {len(sources)} stale landmark row(s) "
                         f"for graph {key!r} (shape or source mismatch); "
@@ -276,6 +341,38 @@ class QueryEngine:
         for entry in self._graphs.values():
             entry.close()
 
+    # ------------------------------------------------------------------
+    # Mutation (dynamic graphs)
+    # ------------------------------------------------------------------
+    def mutate(self, key: str, inserts=(), deletes=()) -> MutationBatch:
+        """Apply one batched mutation to the dynamic graph under ``key``.
+
+        Only valid for graphs registered as
+        :class:`~repro.dynamic.DynamicGraph`; static entries raise
+        :class:`AlgorithmError`. A batch that actually changes the edge
+        set advances the entry's epoch and invalidates everything the
+        previous epoch derived (memo rows, cached diameter, kernel,
+        digest) — the diameter maintainer repairs its bounds lazily on
+        the next ``diam`` query instead of recomputing here. Not
+        thread-safe against concurrent :meth:`run`; the serving layer
+        serializes both onto its single dispatch thread.
+        """
+        entry = self._entry(key)
+        if entry.dynamic is None:
+            raise AlgorithmError(
+                f"graph {key!r} is static; register a DynamicGraph to mutate"
+            )
+        batch = entry.dynamic.apply(inserts, deletes)
+        if batch.mutated:
+            entry.advance_epoch(memory_budget=self.memory_budget)
+            if self.store is not None:
+                entry.digest = entry.dynamic.digest()
+        return batch
+
+    def graph_epoch(self, key: str) -> int:
+        """Current mutation epoch of ``key`` (0 for static graphs)."""
+        return self._entry(key).epoch
+
     def _memoize(self, entry: _GraphEntry, source: int, row: np.ndarray) -> None:
         if self.memo_vectors == 0:
             return
@@ -300,7 +397,7 @@ class QueryEngine:
         entry = self._entry(key)
         n = entry.graph.num_vertices
         parsed = [parse_query(q, num_vertices=n) for q in queries]
-        stats = BatchStats(queries=len(parsed))
+        stats = BatchStats(queries=len(parsed), epoch=entry.epoch)
 
         diam_queries = 0
         wanted: list[int] = []
@@ -368,7 +465,19 @@ class QueryEngine:
         the identical diameter run — so ``diam`` neither inflates nor
         dilutes the batching ratio; once resolved, the memoized value
         makes every later ``diam`` free.
+
+        Dynamic entries route through the
+        :class:`~repro.dynamic.DynamicDiameter` maintainer instead:
+        after an insert-only mutation window the repair path typically
+        costs one witness BFS rather than a full cold run, and the
+        maintainer falls back to cold ``fdiam`` itself whenever repair
+        is unsound (deletions, disconnection) or estimated to lose.
         """
+        if entry.maintainer is not None:
+            repair = entry.maintainer.refresh()
+            stats.sweeps += repair.bfs_traversals
+            stats.scalar_traversals += repair.bfs_traversals
+            return int(entry.maintainer.diameter)
         if self.store is not None:
             # Call-time import: repro.cache sits above the query layer's
             # other dependencies and imports prep/core.

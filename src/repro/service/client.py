@@ -109,6 +109,20 @@ class ServiceClient:
             "POST", "/query", {"graph": graph, "queries": list(queries)}
         )
 
+    async def mutate(
+        self, graph: str, *, insert=(), delete=()
+    ) -> tuple[int, dict]:
+        """POST /mutate with edge-pair lists (dynamic graphs only)."""
+        return await self.request(
+            "POST",
+            "/mutate",
+            {
+                "graph": graph,
+                "insert": [list(edge) for edge in insert],
+                "delete": [list(edge) for edge in delete],
+            },
+        )
+
     async def stats(self) -> dict:
         status, payload = await self.request("GET", "/stats")
         if status != 200:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.dynamic import DynamicGraph
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.graph.io import read_graph
@@ -41,9 +42,15 @@ class UnknownGraphError(AlgorithmError):
     """A query named a graph key the registry has no spec for (404)."""
 
 
-def resident_bytes(graph: CSRGraph) -> int:
-    """Decoded working-set estimate: the arrays a traversal walks."""
-    return int(graph.indptr.nbytes + graph.indices.nbytes)
+def resident_bytes(graph) -> int:
+    """Decoded working-set estimate: the arrays a traversal walks.
+
+    A :class:`~repro.dynamic.DynamicGraph` is measured by its base CSR
+    (the overlay is bounded by the compaction threshold, a fraction of
+    the base).
+    """
+    base = getattr(graph, "base", graph)
+    return int(base.indptr.nbytes + base.indices.nbytes)
 
 
 @dataclass
@@ -60,6 +67,9 @@ class GraphSpec:
     #: Memory-map binary containers on open (``.scsr`` keeps the
     #: compressed image attached for block-decoding gathers).
     mmap: bool = True
+    #: Wrap in a :class:`~repro.dynamic.DynamicGraph` on open so the
+    #: service can apply ``POST /mutate`` batches to it.
+    dynamic: bool = False
 
     def __post_init__(self):
         if (self.path is None) == (self.graph is None):
@@ -102,9 +112,12 @@ class GraphRegistry:
         path: str | None = None,
         graph: CSRGraph | None = None,
         mmap: bool = True,
+        dynamic: bool = False,
     ) -> None:
         """Declare a serveable graph (not opened until first query)."""
-        self._specs[key] = GraphSpec(key=key, path=path, graph=graph, mmap=mmap)
+        self._specs[key] = GraphSpec(
+            key=key, path=path, graph=graph, mmap=mmap, dynamic=dynamic
+        )
 
     def __contains__(self, key: str) -> bool:
         return key in self._specs
@@ -153,6 +166,8 @@ class GraphRegistry:
                 graph, opened_here = spec.graph, False
             else:
                 graph, opened_here = read_graph(spec.path, mmap=spec.mmap), True
+            if spec.dynamic and not isinstance(graph, DynamicGraph):
+                graph = DynamicGraph(graph)
             self.engine.add_graph(graph, key=key)
             resident = _Resident(graph, resident_bytes(graph), opened_here)
             self._resident[key] = resident
@@ -189,7 +204,8 @@ class GraphRegistry:
         if resident is None:
             return False
         self.engine.remove_graph(key)
-        backing = resident.graph.backing_store
+        base = getattr(resident.graph, "base", resident.graph)
+        backing = getattr(base, "backing_store", None)
         if resident.opened_here and backing is not None:
             backing.close()
         self.evictions += 1

@@ -160,8 +160,14 @@ class CoalescingScheduler:
         self._last_arrival = now
 
     # ------------------------------------------------------------------
-    async def submit(self, key: str, query) -> int:
+    async def submit(self, key: str, query) -> tuple[int, int]:
         """Coalesce one query into the graph's current window.
+
+        Returns ``(answer, epoch)`` — the epoch is the graph's
+        mutation epoch the carrying batch actually ran under (always 0
+        for static graphs), so a caller interleaving queries with
+        ``POST /mutate`` can line every answer up with the mutation
+        stream.
 
         Raises :class:`~repro.service.registry.UnknownGraphError` for
         an unregistered key, :class:`~repro.errors.AlgorithmError` for
@@ -214,10 +220,10 @@ class CoalescingScheduler:
             self.stats.last_window_s = window
             self._timers[key] = loop.call_later(window, self._flush, key)
 
-        answer = await future
+        answer, epoch = await future
         self.stats.answered += 1
         self.stats.latency.record(time.perf_counter() - t0)
-        return answer
+        return answer, epoch
 
     # ------------------------------------------------------------------
     def _flush(self, key: str) -> None:
@@ -256,9 +262,53 @@ class CoalescingScheduler:
             )
             for p, answer in zip(batch, answers):
                 if not p.future.done():
-                    p.future.set_result(answer)
+                    p.future.set_result((answer, batch_stats.epoch))
         finally:
             self.registry.unpin(key)
+
+    # ------------------------------------------------------------------
+    async def submit_mutation(self, key: str, inserts=(), deletes=()):
+        """Apply one mutation batch, interleaving safely with queries.
+
+        Ordering contract: queries admitted *before* the mutation run
+        on the pre-mutation epoch, the mutation itself runs alone on
+        the dispatch thread (``QueryEngine.mutate`` swaps the entry's
+        kernel/memo state, which must never race a batch), and queries
+        admitted afterwards see the new epoch. This needs no global
+        lock: the key's currently-accumulating window is flushed first,
+        and since both batch runs and the mutation are submitted to the
+        same single-worker executor in that order, FIFO execution on
+        the dispatch thread is the serialization.
+
+        Returns the :class:`~repro.dynamic.MutationBatch` record.
+        Raises ``UnknownGraphError`` for an unregistered key,
+        ``AlgorithmError`` for a static graph or malformed/out-of-range
+        edges, and ``ServiceClosedError`` during shutdown.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._dispatch, self.registry.ensure, key)
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        # Dispatch the window the pre-mutation queries joined...
+        self._flush(key)
+        # ... and let the freshly created batch task(s) reach their
+        # run_in_executor submission (a task runs synchronously up to
+        # its first await once the loop yields; call_soon is FIFO, so
+        # one tick suffices) before the mutation enters the executor
+        # queue behind them.
+        await asyncio.sleep(0)
+        self.registry.pin(key)
+        try:
+            batch = await loop.run_in_executor(
+                self._dispatch, self.engine.mutate, key, inserts, deletes
+            )
+        finally:
+            self.registry.unpin(key)
+        self.stats.mutations += 1
+        self.stats.mutated_edges += batch.inserted + batch.deleted
+        return batch
 
     # ------------------------------------------------------------------
     async def drain(self) -> None:

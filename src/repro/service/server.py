@@ -13,9 +13,22 @@ Endpoints:
     ``"query": Q``). Each query coalesces *individually* into the
     graph's current batching window, so the queries of one request and
     of every concurrent request share sweeps. Responds
-    ``{"graph": KEY, "answers": [...]}``. Errors are structured:
+    ``{"graph": KEY, "answers": [...], "epochs": [...]}`` — the epoch
+    per answer is the mutation epoch its carrying batch ran under
+    (all zeros for static graphs). Errors are structured:
     400 malformed/out-of-range query, 404 unknown graph, 429 shed by
     admission control, 500 batch failure, 503 shutting down.
+
+``POST /mutate``
+    Body ``{"graph": KEY, "insert": [[u, v], ...],
+    "delete": [[u, v], ...]}`` (either list optional). Applies one
+    batched edge mutation to a graph registered as dynamic
+    (``add_graph(..., dynamic=True)``), serialized against query
+    batches on the dispatch thread (see
+    :meth:`CoalescingScheduler.submit_mutation`). Responds
+    ``{"graph": KEY, "epoch": E, "applied": {...}}`` with the
+    post-batch epoch and insert/delete/noop counts. 400 for a static
+    graph, self-loops, or out-of-range endpoints; 404/503 as above.
 
 ``GET /stats``
     Service, scheduler, registry, per-graph executor, and warm-start
@@ -120,9 +133,17 @@ class QueryService:
         path: str | None = None,
         graph=None,
         mmap: bool = True,
+        dynamic: bool = False,
     ) -> None:
-        """Register a serveable graph (opened lazily on first query)."""
-        self.registry.register(key, path=path, graph=graph, mmap=mmap)
+        """Register a serveable graph (opened lazily on first query).
+
+        With ``dynamic=True`` the graph is wrapped in a
+        :class:`~repro.dynamic.DynamicGraph` on open, which enables
+        ``POST /mutate`` batches against it.
+        """
+        self.registry.register(
+            key, path=path, graph=graph, mmap=mmap, dynamic=dynamic
+        )
 
     async def start(self, host: str = "127.0.0.1", port: int = 0):
         """Bind and start accepting; returns the actual ``(host, port)``."""
@@ -261,6 +282,10 @@ class QueryService:
             if method != "POST":
                 return 405, {"error": "POST /query"}
             return await self._handle_query(body)
+        if path == "/mutate":
+            if method != "POST":
+                return 405, {"error": "POST /mutate"}
+            return await self._handle_mutate(body)
         if method != "GET":
             return 405, {"error": f"GET {path}"}
         if path == "/healthz":
@@ -294,7 +319,7 @@ class QueryService:
             *(self.scheduler.submit(key, q) for q in queries),
             return_exceptions=True,
         )
-        answers, errors = [], []
+        answers, epochs, errors = [], [], []
         status = 200
         for query, result in zip(queries, results):
             if isinstance(result, ReproError):
@@ -303,6 +328,7 @@ class QueryService:
                     {"query": query, "status": code, "error": str(result)}
                 )
                 answers.append(None)
+                epochs.append(None)
                 if status == 200:
                     status = code
             elif isinstance(result, BaseException):
@@ -310,11 +336,45 @@ class QueryService:
                     {"query": query, "status": 500, "error": str(result)}
                 )
                 answers.append(None)
+                epochs.append(None)
                 if status == 200:
                     status = 500
             else:
-                answers.append(result)
-        response = {"graph": key, "answers": answers}
+                answer, epoch = result
+                answers.append(answer)
+                epochs.append(epoch)
+        response = {"graph": key, "answers": answers, "epochs": epochs}
         if errors:
             response["errors"] = errors
         return status, response
+
+    async def _handle_mutate(self, body):
+        try:
+            payload = json.loads(body or b"{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}
+        key = payload.get("graph")
+        if not isinstance(key, str):
+            return 400, {"error": "missing 'graph' key"}
+        inserts = payload.get("insert", [])
+        deletes = payload.get("delete", [])
+        if not isinstance(inserts, list) or not isinstance(deletes, list):
+            return 400, {"error": "'insert'/'delete' must be edge lists"}
+        try:
+            batch = await self.scheduler.submit_mutation(
+                key, inserts, deletes
+            )
+        except ReproError as exc:
+            return _status_for(exc), {"error": str(exc)}
+        return 200, {
+            "graph": key,
+            "epoch": batch.epoch,
+            "applied": {
+                "inserted": batch.inserted,
+                "deleted": batch.deleted,
+                "noop_inserts": batch.noop_inserts,
+                "noop_deletes": batch.noop_deletes,
+            },
+        }

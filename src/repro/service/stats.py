@@ -107,6 +107,11 @@ class ServiceStats:
     memo_hits: int = 0
     #: Edges examined across all batches.
     edges_examined: int = 0
+    #: Mutation batches applied through ``POST /mutate``.
+    mutations: int = 0
+    #: Edges actually inserted or deleted by those batches (noop
+    #: requests excluded).
+    mutated_edges: int = 0
     #: The batching window the scheduler last armed (seconds).
     last_window_s: float = 0.0
     #: Size and amortization of the most recent batch.
@@ -158,6 +163,8 @@ class ServiceStats:
             "bfs_sources": self.bfs_sources,
             "memo_hits": self.memo_hits,
             "edges_examined": self.edges_examined,
+            "mutations": self.mutations,
+            "mutated_edges": self.mutated_edges,
             "last_window_ms": round(1e3 * self.last_window_s, 3),
             "last_batch": dict(self.last_batch),
             "latency": self.latency.snapshot(),

@@ -20,8 +20,13 @@ paper's pruning theorems into machine-checked properties:
   disagreement on diameter, connectivity flag, eccentricities, or
   per-query distances.
 * :mod:`repro.verify.metamorphic` — relabeling invariance, edge
-  additions never increasing any distance, and disjoint-union
-  composition.
+  additions never increasing (and deletions never decreasing) any
+  distance, insert-then-delete identity through the dynamic overlay,
+  and disjoint-union composition.
+* :mod:`repro.verify.mutation` — the differential *mutation* fuzzer:
+  random insert/delete/query interleavings over
+  :mod:`repro.dynamic`, replayed against recompute-from-scratch after
+  every batch, with ddmin trace shrinking (``repro fuzz --mutate``).
 * :mod:`repro.verify.shrink` — ddmin failure minimization by vertex
   and edge deletion, plus the replayable ``.npz`` + seed artifacts.
 * :mod:`repro.verify.runner` — the budgeted fuzz loop behind the
@@ -43,7 +48,19 @@ from repro.verify.faults import available_faults, inject_fault
 from repro.verify.metamorphic import (
     check_disjoint_union,
     check_edge_addition_monotone,
+    check_edge_deletion_monotone,
+    check_insert_delete_identity,
     check_relabel_invariance,
+)
+from repro.verify.mutation import (
+    MutationFailure,
+    MutationStep,
+    MutationTrace,
+    fuzz_mutation,
+    run_mutation_trace,
+    sample_trace,
+    shrink_trace,
+    write_trace_artifact,
 )
 from repro.verify.oracle import InvariantOracle
 from repro.verify.runner import FuzzFailure, FuzzResult, fuzz, replay
@@ -61,18 +78,28 @@ __all__ = [
     "FuzzFailure",
     "FuzzResult",
     "InvariantOracle",
+    "MutationFailure",
+    "MutationStep",
+    "MutationTrace",
     "available_faults",
     "check_disjoint_union",
     "check_edge_addition_monotone",
+    "check_edge_deletion_monotone",
+    "check_insert_delete_identity",
     "check_relabel_invariance",
     "ddmin_edges",
     "ddmin_vertices",
     "fuzz",
+    "fuzz_mutation",
     "inject_fault",
     "load_artifact",
     "reference_eccentricities",
     "replay",
+    "run_mutation_trace",
     "run_trial",
+    "sample_trace",
     "shrink_failure",
+    "shrink_trace",
     "write_artifact",
+    "write_trace_artifact",
 ]

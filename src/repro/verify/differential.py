@@ -200,12 +200,16 @@ def run_trial(
         from repro.verify.metamorphic import (
             check_disjoint_union,
             check_edge_addition_monotone,
+            check_edge_deletion_monotone,
+            check_insert_delete_identity,
             check_relabel_invariance,
         )
 
         for check in (
             check_relabel_invariance,
             check_edge_addition_monotone,
+            check_edge_deletion_monotone,
+            check_insert_delete_identity,
             check_disjoint_union,
         ):
             disagreements.extend(check(graph, rng))

@@ -1,29 +1,46 @@
 """Deliberate fault injection for oracle and fuzzer self-tests.
 
 A verification subsystem is only trustworthy if it demonstrably fires:
-each fault here is a realistic off-by-one in one of F-Diam's pruning
-stages, injected by rebinding the stage entry point inside the driver
-modules for the duration of a ``with`` block. The test suite (and the
-``repro fuzz --inject`` flag) use them to prove that the invariant
-oracle catches the bug class and that the shrinker reduces the
-triggering graph to a small replayable artifact.
+each fault here is a realistic bug in one of the solver's pruning or
+repair stages, injected by rebinding the stage entry point for the
+duration of a ``with`` block. The test suite (and the ``repro fuzz
+--inject`` flag) use them to prove that the invariant oracle / the
+mutation fuzzer catches the bug class and that the shrinker reduces
+the triggering input to a small replayable artifact.
 
-Faults patch the *name bindings* in the consuming modules
-(``repro.core.fdiam`` / ``repro.core.concurrent``), not the defining
-module, because the drivers import the stage functions by name.
+Each fault builder returns a list of ``(target, attr, faulty)`` patch
+specs. Static-solver faults patch the *name bindings* in the consuming
+driver modules (``repro.core.fdiam`` / ``repro.core.concurrent``), not
+the defining module, because the drivers import the stage functions by
+name. Dynamic-maintenance faults patch class attributes on
+:class:`~repro.dynamic.diameter.DynamicDiameter` (wrapped in
+``staticmethod`` so the rebinding preserves the call convention).
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
 from contextlib import contextmanager
+
+import numpy as np
 
 from repro.errors import AlgorithmError
 
 __all__ = ["available_faults", "inject_fault"]
 
 
-def _eliminate_off_by_one():
+def _stage_specs(attr: str, faulty) -> list[tuple]:
+    """Patch ``attr`` in every driver module that imported it by name."""
+    specs = []
+    for modname in ("repro.core.fdiam", "repro.core.concurrent"):
+        mod = importlib.import_module(modname)
+        if hasattr(mod, attr):
+            specs.append((mod, attr, faulty))
+    return specs
+
+
+def _eliminate_off_by_one() -> list[tuple]:
     """Eliminate expands ``bound - ecc + 1`` levels instead of ``bound - ecc``.
 
     The classic unsound variant of Theorem 1: the extra level removes
@@ -40,10 +57,10 @@ def _eliminate_off_by_one():
     def faulty(state, source, ecc, bound, **kwargs):
         return orig(state, source, ecc, bound + 1, **kwargs)
 
-    return faulty, "eliminate"
+    return _stage_specs("eliminate", faulty)
 
 
-def _winnow_overgrow():
+def _winnow_overgrow() -> list[tuple]:
     """Winnow grows the ball to radius ``⌊bound/2⌋ + 1``.
 
     Breaks the Theorem 2/3 pairing argument: two vertices of the
@@ -57,43 +74,96 @@ def _winnow_overgrow():
     def faulty(state, center, bound):
         return orig(state, center, bound + 2)
 
-    return faulty, "winnow"
+    return _stage_specs("winnow", faulty)
+
+
+def _dynamic_witness_only() -> list[tuple]:
+    """Repair trusts the witness BFS alone, skipping the candidate sweep.
+
+    A plausible over-optimization of the insert-only repair rule: one
+    BFS from the stored witness re-validates the lower bound, but no
+    stale upper bound above it is ever re-checked — so an insertion
+    that shrinks the old witness's eccentricity while another vertex
+    still realizes a larger one yields an under-reported diameter. The
+    mutation fuzzer's per-step recompute comparison is what catches it.
+    """
+    from repro.dynamic.diameter import DynamicDiameter
+
+    def faulty(ecc_ub, lb):
+        return np.empty(0, dtype=np.int64)
+
+    return [(DynamicDiameter, "_candidates", staticmethod(faulty))]
+
+
+def _dynamic_deletes_keep_bounds() -> list[tuple]:
+    """Deletions are treated like insertions: cached bounds survive.
+
+    Breaks the deletion repair rule outright — removing an edge can
+    *grow* distances (or disconnect the graph), so the cached
+    eccentricity upper bounds are invalid, yet the faulty maintainer
+    repairs from them anyway and under-reports the diameter (or misses
+    a disconnection).
+    """
+    from repro.dynamic.diameter import DynamicDiameter
+
+    def faulty(deleted):
+        return False
+
+    return [(DynamicDiameter, "_deletes_invalidate", staticmethod(faulty))]
 
 
 _FAULTS = {
     "eliminate-off-by-one": _eliminate_off_by_one,
     "winnow-overgrow": _winnow_overgrow,
+    "dynamic-witness-only": _dynamic_witness_only,
+    "dynamic-deletes-keep-bounds": _dynamic_deletes_keep_bounds,
+}
+
+#: Which verification harness is expected to catch each fault:
+#: ``static`` faults break fdiam's pruning stages and trip the
+#: invariant oracle; ``dynamic`` faults break the maintainer's repair
+#: rules and only the mutation fuzzer's recompute comparison sees them.
+_DOMAINS = {
+    "eliminate-off-by-one": "static",
+    "winnow-overgrow": "static",
+    "dynamic-witness-only": "dynamic",
+    "dynamic-deletes-keep-bounds": "dynamic",
 }
 
 
-def available_faults() -> tuple[str, ...]:
-    """Names accepted by :func:`inject_fault`."""
-    return tuple(_FAULTS)
+def available_faults(domain: str | None = None) -> tuple[str, ...]:
+    """Names accepted by :func:`inject_fault`.
+
+    ``domain`` filters to ``"static"`` (solver-stage faults the
+    invariant oracle catches) or ``"dynamic"`` (repair-rule faults the
+    mutation fuzzer catches); ``None`` returns everything.
+    """
+    if domain is None:
+        return tuple(_FAULTS)
+    return tuple(name for name in _FAULTS if _DOMAINS[name] == domain)
 
 
 @contextmanager
 def inject_fault(name: str):
     """Activate the named fault inside the ``with`` block.
 
-    Rebinds the faulty stage function in every driver module that
-    imported it by name; always restores the originals on exit, even
-    when the block raises (which is the expected outcome).
+    Applies every patch spec the fault builder returns; always restores
+    the originals on exit, even when the block raises (which is the
+    expected outcome). Originals are captured with
+    :func:`inspect.getattr_static` so class-level ``staticmethod``
+    descriptors round-trip unbound.
     """
     if name not in _FAULTS:
         raise AlgorithmError(
             f"unknown fault {name!r}; available: {sorted(_FAULTS)}"
         )
-    concurrent_mod = importlib.import_module("repro.core.concurrent")
-    fdiam_mod = importlib.import_module("repro.core.fdiam")
-
-    faulty, attr = _FAULTS[name]()
+    specs = _FAULTS[name]()
     patched = []
-    for mod in (fdiam_mod, concurrent_mod):
-        if hasattr(mod, attr):
-            patched.append((mod, attr, getattr(mod, attr)))
-            setattr(mod, attr, faulty)
+    for target, attr, faulty in specs:
+        patched.append((target, attr, inspect.getattr_static(target, attr)))
+        setattr(target, attr, faulty)
     try:
         yield
     finally:
-        for mod, attr, orig in patched:
-            setattr(mod, attr, orig)
+        for target, attr, orig in reversed(patched):
+            setattr(target, attr, orig)

@@ -15,6 +15,16 @@ effect on the answer is known a priori:
   a disconnected graph is deliberately exempt: bridging two
   components can legitimately raise the largest component's
   eccentricity.)
+* **Edge-deletion monotonicity** — the mirror image: removing an edge
+  can only destroy shortest paths, never create one, so every pairwise
+  distance is non-decreasing (possibly becoming ``∞``), and when the
+  reduced graph stays connected its diameter is non-decreasing.
+* **Insert-then-delete identity** — applying ``+e`` then ``-e`` for
+  the same absent edge through a :class:`~repro.dynamic.DynamicGraph`
+  must restore the exact CSR arrays and the exact diameter, while the
+  epoch (and therefore the cache digest) must *not* be restored —
+  byte-identical content at a different epoch is a different cache
+  key by design.
 * **Disjoint-union composition** — ``diam(G ⊔ H) = max(diam G,
   diam H)`` under the paper's largest-component-eccentricity
   convention, and the union is always flagged infinite.
@@ -39,6 +49,8 @@ from repro.graph.csr import CSRGraph
 __all__ = [
     "check_disjoint_union",
     "check_edge_addition_monotone",
+    "check_edge_deletion_monotone",
+    "check_insert_delete_identity",
     "check_relabel_invariance",
 ]
 
@@ -135,6 +147,136 @@ def check_edge_addition_monotone(
                 )
             ]
     return []
+
+
+def check_edge_deletion_monotone(
+    graph: CSRGraph, rng: np.random.Generator, *, samples: int = 4
+) -> list:
+    """Deleting one edge never decreases any pairwise distance."""
+    label = "metamorphic/edge-del"
+    n = graph.num_vertices
+    if n < 2 or graph.num_edges == 0:
+        return []
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cols = graph.indices.astype(np.int64)
+    upper = row_of < cols  # one record per undirected edge
+    src_all, dst_all = row_of[upper], cols[upper]
+    pick = int(rng.integers(len(src_all)))
+    u, v = int(src_all[pick]), int(dst_all[pick])
+    keep = np.ones(len(src_all), dtype=bool)
+    keep[pick] = False
+    reduced = from_edge_arrays(
+        src_all[keep], dst_all[keep], n, f"{graph.name}-e({u},{v})"
+    )
+
+    sources = {u, v} | {int(rng.integers(n)) for _ in range(samples)}
+    inf = np.iinfo(np.int64).max
+    for s in sources:
+        before = serial_distances(graph, s)
+        after = serial_distances(reduced, s)
+        before = np.where(before < 0, inf, before)
+        after = np.where(after < 0, inf, after)
+        better = np.flatnonzero(after < before)
+        if len(better):
+            t = int(better[0])
+            return [
+                _disagreement(
+                    label,
+                    f"deleting edge ({u},{v}) decreased d({s},{t}) from "
+                    f"{int(before[t])} to {int(after[t])}",
+                )
+            ]
+    if not (serial_distances(reduced, 0) < 0).any():
+        # Reduced graph connected => original connected too (superset
+        # of the edges), so both diameters use the finite convention.
+        base, err = _run(graph, label)
+        if err is not None:
+            return [err]
+        red, err = _run(reduced, label)
+        if err is not None:
+            return [err]
+        if red.diameter < base.diameter:
+            return [
+                _disagreement(
+                    label,
+                    f"deleting edge ({u},{v}) lowered the connected "
+                    f"diameter from {base.diameter} to {red.diameter}",
+                )
+            ]
+    return []
+
+
+def check_insert_delete_identity(
+    graph: CSRGraph, rng: np.random.Generator
+) -> list:
+    """``+e`` then ``-e`` restores the graph and diameter, not the epoch."""
+    label = "metamorphic/insert-delete"
+    n = graph.num_vertices
+    if n < 2:
+        return []
+    from repro.dynamic import DynamicDiameter, DynamicGraph
+
+    u = v = -1
+    for _ in range(16):  # dense fuzz graphs may have no absent pair
+        a = int(rng.integers(n))
+        b = int(rng.integers(n - 1))
+        if b >= a:
+            b += 1
+        if not graph.has_edge(a, b):
+            u, v = a, b
+            break
+    if u < 0:
+        return []
+    base, err = _run(graph, label)
+    if err is not None:
+        return [err]
+    dgraph = DynamicGraph(graph)
+    digest0 = dgraph.digest()
+    dgraph.apply(inserts=[(u, v)])
+    dgraph.apply(deletes=[(u, v)])
+    view = dgraph.view()
+    found = []
+    if not (
+        np.array_equal(view.indptr, graph.indptr)
+        and np.array_equal(view.indices, graph.indices)
+    ):
+        return [
+            _disagreement(
+                label,
+                f"insert-then-delete of ({u},{v}) did not restore the "
+                "CSR arrays",
+            )
+        ]
+    if dgraph.epoch != 2:
+        found.append(
+            _disagreement(
+                label,
+                f"two mutating batches advanced the epoch to "
+                f"{dgraph.epoch}, expected 2",
+            )
+        )
+    if dgraph.digest() == digest0:
+        found.append(
+            _disagreement(
+                label,
+                "restored byte content reused the epoch-0 cache digest; "
+                "stale sidecars would be served across mutations",
+            )
+        )
+    maintainer = DynamicDiameter(dgraph)
+    if (maintainer.diameter, maintainer.infinite) != (
+        base.diameter,
+        base.infinite,
+    ):
+        found.append(
+            _disagreement(
+                label,
+                f"insert-then-delete of ({u},{v}) changed the diameter "
+                f"from {base.diameter} (infinite={base.infinite}) to "
+                f"{maintainer.diameter} (infinite={maintainer.infinite})",
+            )
+        )
+    return found
 
 
 def check_disjoint_union(graph: CSRGraph, rng: np.random.Generator) -> list:

@@ -1,0 +1,643 @@
+"""Differential mutation fuzzing: dynamic maintenance vs recompute.
+
+The static fuzzer (:mod:`repro.verify.differential`) checks that many
+implementations agree on one *fixed* graph. This module fuzzes the
+*evolving*-graph stack of :mod:`repro.dynamic`: a trial samples a seed
+graph plus a **mutation trace** — a sequence of batched edge
+insertions/deletions interleaved with queries — and replays it against
+three independent witnesses after every batch:
+
+* an **oracle edge set** maintained as a plain Python set and rebuilt
+  into a canonical CSR via :func:`~repro.graph.build.from_edge_arrays`
+  — the delta-overlay view (both an aggressively-compacted instance
+  and an overlay-retaining one) must match it array-for-array;
+* **recompute-from-scratch** reference answers — per-vertex serial BFS
+  eccentricities on the rebuilt oracle — against which the
+  :class:`~repro.dynamic.DynamicDiameter` maintainer's repaired
+  diameter and the query engine's epoch-invalidated answers are
+  compared;
+* at the final epoch, the full static :data:`CONFIG_LATTICE` with the
+  invariant oracle attached, so a dynamic bug that corrupts the view
+  is also caught by every static configuration disagreeing.
+
+A failing trace is shrunk with the same generic ddmin the static
+shrinker uses — first over whole steps, then over individual
+operations, then over the base graph's edges — and written out as a
+replayable ``.npz`` + ``.json`` artifact whose metadata embeds the
+minimized trace (``repro fuzz --replay`` detects it and replays the
+mutations, not just the graph).
+
+Traces are pure data (base graph + step tuples): replaying one is
+deterministic, which is what makes both ddmin and the CI
+``dynamic-fuzz-smoke`` job reliable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bfs.reference import serial_distances
+from repro.core.fdiam import fdiam
+from repro.dynamic import DynamicDiameter, DynamicGraph
+from repro.errors import ReproError
+from repro.graph.build import from_edge_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.io import graph_digest, save_npz
+from repro.verify.differential import CONFIG_LATTICE, Disagreement
+
+__all__ = [
+    "MutationFailure",
+    "MutationStep",
+    "MutationTrace",
+    "fuzz_mutation",
+    "run_mutation_trace",
+    "sample_trace",
+    "shrink_trace",
+    "steps_from_json",
+    "trace_to_json",
+    "write_trace_artifact",
+]
+
+
+@dataclass(frozen=True)
+class MutationStep:
+    """One batch of a trace: edges in/out, then queries at the new epoch.
+
+    Edges are ``(u, v)`` tuples; queries are parsed tuples in the
+    query engine's format (``("diam",)``, ``("ecc", u)``,
+    ``("dist", u, v)``). Any subsequence of a trace's steps is itself a
+    valid trace (deleting a never-inserted edge is a counted no-op),
+    which is the property ddmin shrinking relies on.
+    """
+
+    inserts: tuple = ()
+    deletes: tuple = ()
+    queries: tuple = ()
+
+    @property
+    def ops(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass(frozen=True)
+class MutationTrace:
+    """A replayable trial: the base graph plus its mutation steps."""
+
+    graph: CSRGraph
+    steps: tuple = ()
+
+    @property
+    def ops(self) -> int:
+        return sum(step.ops for step in self.steps)
+
+
+@dataclass(frozen=True)
+class MutationFailure:
+    """One failing mutation trial, after (optional) minimization."""
+
+    trial_seed: int
+    graph_name: str
+    family: str
+    disagreements: tuple
+    original_steps: int
+    shrunk_steps: int
+    shrunk_ops: int
+    shrunk_vertices: int
+    shrunk_edges: int
+    artifact: Path | None
+
+    def __str__(self) -> str:
+        first = self.disagreements[0]
+        where = f" -> {self.artifact}" if self.artifact else ""
+        return (
+            f"seed={self.trial_seed} {self.graph_name} "
+            f"({self.original_steps} -> {self.shrunk_steps} step(s), "
+            f"{self.shrunk_ops} op(s), {self.shrunk_vertices} vertices, "
+            f"{self.shrunk_edges} edges): {first}{where}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace sampling
+# ----------------------------------------------------------------------
+def _norm(edge) -> tuple[int, int]:
+    u, v = int(edge[0]), int(edge[1])
+    return (u, v) if u < v else (v, u)
+
+
+def _edge_set(graph: CSRGraph) -> set:
+    n = graph.num_vertices
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cols = graph.indices.astype(np.int64)
+    upper = row_of < cols
+    return set(zip(row_of[upper].tolist(), cols[upper].tolist()))
+
+
+def _rebuild(n: int, edges: set, name: str) -> CSRGraph:
+    if edges:
+        arr = np.asarray(sorted(edges), dtype=np.int64)
+        return from_edge_arrays(arr[:, 0], arr[:, 1], n, name)
+    empty = np.empty(0, dtype=np.int64)
+    return from_edge_arrays(empty, empty, n, name)
+
+
+def _random_pair(rng: np.random.Generator, n: int) -> tuple[int, int]:
+    u = int(rng.integers(n))
+    v = int(rng.integers(n - 1))
+    if v >= u:
+        v += 1
+    return (u, v) if u < v else (v, u)
+
+
+def sample_trace(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    *,
+    steps: int = 8,
+    max_batch: int = 4,
+    max_queries: int = 3,
+) -> MutationTrace:
+    """Sample a random insert/delete/query interleaving on ``graph``.
+
+    Roughly 40% of steps are insert-only (so the maintainer's repair
+    path, which only insert-only windows can take, is exercised often);
+    deletes target currently-present edges 80% of the time (real
+    deletions) and random pairs otherwise (no-op coverage). Every step
+    ends with a ``diam`` query plus a few random ``dist``/``ecc``
+    queries, so the engine's epoch invalidation is probed at every
+    epoch, not just the final one.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        return MutationTrace(graph=graph, steps=())
+    edges = _edge_set(graph)
+    out = []
+    for _ in range(steps):
+        inserts = [
+            _random_pair(rng, n)
+            for _ in range(int(rng.integers(0, max_batch + 1)))
+        ]
+        deletes = []
+        if rng.random() >= 0.4:  # 40% insert-only windows
+            pool = sorted(edges | set(inserts))
+            for _ in range(int(rng.integers(0, max_batch + 1))):
+                if pool and rng.random() < 0.8:
+                    deletes.append(pool[int(rng.integers(len(pool)))])
+                else:
+                    deletes.append(_random_pair(rng, n))
+        edges |= set(inserts)
+        edges -= set(deletes)
+        queries = [("diam",)]
+        for _ in range(int(rng.integers(0, max_queries))):
+            u = int(rng.integers(n))
+            if rng.random() < 0.5:
+                queries.append(("dist", u, int(rng.integers(n))))
+            else:
+                queries.append(("ecc", u))
+        out.append(
+            MutationStep(
+                inserts=tuple(inserts),
+                deletes=tuple(deletes),
+                queries=tuple(queries),
+            )
+        )
+    return MutationTrace(graph=graph, steps=tuple(out))
+
+
+# ----------------------------------------------------------------------
+# Trace execution: the differential checks
+# ----------------------------------------------------------------------
+def _step_reference(oracle: CSRGraph):
+    """Recompute-from-scratch answers: rows, eccs, diameter, connected."""
+    n = oracle.num_vertices
+    rows = [serial_distances(oracle, v) for v in range(n)]
+    ecc = [int(r.max()) for r in rows]
+    diam = max(ecc) if ecc else 0
+    connected = n <= 1 or bool((rows[0] >= 0).all())
+    return rows, ecc, diam, connected
+
+
+def _expected(query: tuple, rows, ecc, diam: int) -> int:
+    if query[0] == "diam":
+        return diam
+    if query[0] == "ecc":
+        return int(ecc[query[1]])
+    return int(rows[query[1]][query[2]])
+
+
+def run_mutation_trace(
+    trace: MutationTrace, *, lattice: bool = True, verify: bool = True
+) -> list[Disagreement]:
+    """Replay ``trace`` against recompute-from-scratch after every batch.
+
+    Two :class:`DynamicGraph` instances run the same batches — one
+    compacting after every batch, one never compacting at fuzz scale —
+    so the compacted-base and delta-overlay read paths are compared
+    against the rebuilt oracle CSR *and* against each other. The
+    maintainer repairs on the first instance; the second is registered
+    with a :class:`~repro.query.QueryEngine` and mutated through its
+    ``mutate`` path, so engine-side epoch invalidation (memos, kernel,
+    cached diameter) is what answers the step's queries.
+    """
+    from repro.query import QueryEngine
+
+    graph = trace.graph
+    n = graph.num_vertices
+    found: list[Disagreement] = []
+    if n == 0:
+        return found
+    edges = _edge_set(graph)
+    compacted = DynamicGraph(graph, compaction_ratio=0.0, min_compaction_edges=1)
+    maintainer = DynamicDiameter(compacted)
+    overlay = DynamicGraph(graph)  # defaults: never compacts at fuzz scale
+    engine = QueryEngine(batch_lanes=64)
+    key = engine.add_graph(overlay)
+    try:
+        rows, ecc, diam, connected = _step_reference(graph)
+        for i, step in enumerate(trace.steps):
+            try:
+                compacted.apply(inserts=step.inserts, deletes=step.deletes)
+                engine.mutate(key, inserts=step.inserts, deletes=step.deletes)
+            except ReproError as exc:
+                found.append(
+                    Disagreement(
+                        "mutation/apply",
+                        f"step {i}: {type(exc).__name__}: {exc}",
+                    )
+                )
+                return found
+            edges |= {_norm(e) for e in step.inserts}
+            edges -= {_norm(e) for e in step.deletes}
+            oracle = _rebuild(n, edges, graph.name)
+            for label, inst in (
+                ("mutation/view", compacted),
+                ("mutation/view-overlay", overlay),
+            ):
+                view = inst.view()
+                if not (
+                    np.array_equal(view.indptr, oracle.indptr)
+                    and np.array_equal(view.indices, oracle.indices)
+                ):
+                    found.append(
+                        Disagreement(
+                            label,
+                            f"step {i} (epoch {inst.epoch}): merged CSR "
+                            "differs from the rebuilt oracle edge set",
+                        )
+                    )
+                    return found  # downstream checks would be meaningless
+            if compacted.epoch != overlay.epoch:
+                found.append(
+                    Disagreement(
+                        "mutation/epoch",
+                        f"step {i}: compacting instance at epoch "
+                        f"{compacted.epoch}, overlay instance at "
+                        f"{overlay.epoch} after identical batches",
+                    )
+                )
+            rows, ecc, diam, connected = _step_reference(oracle)
+            repair = maintainer.refresh()
+            if maintainer.diameter != diam or maintainer.infinite != (
+                not connected
+            ):
+                found.append(
+                    Disagreement(
+                        "mutation/diam",
+                        f"step {i} (epoch {compacted.epoch}, "
+                        f"{repair.strategy}): maintainer diameter "
+                        f"{maintainer.diameter} infinite="
+                        f"{maintainer.infinite} vs recompute {diam} "
+                        f"infinite={not connected}",
+                    )
+                )
+            try:
+                answers, _stats = engine.run(key, list(step.queries))
+            except ReproError as exc:
+                found.append(
+                    Disagreement(
+                        "mutation/query",
+                        f"step {i}: {type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            for query, got in zip(step.queries, answers):
+                want = _expected(query, rows, ecc, diam)
+                if got != want:
+                    found.append(
+                        Disagreement(
+                            f"mutation/query-{query[0]}",
+                            f"step {i} (epoch {overlay.epoch}): "
+                            f"{' '.join(map(str, query))} = {got}, "
+                            f"recompute reference {want}",
+                        )
+                    )
+        if lattice:
+            final = compacted.view()
+            for label, config in CONFIG_LATTICE:
+                try:
+                    result = fdiam(final, config.ablate(verify=verify))
+                except ReproError as exc:
+                    found.append(
+                        Disagreement(
+                            f"mutation/{label}",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                if result.diameter != diam or result.infinite != (
+                    not connected
+                ):
+                    found.append(
+                        Disagreement(
+                            f"mutation/{label}",
+                            f"final epoch {compacted.epoch}: diameter "
+                            f"{result.diameter} infinite="
+                            f"{result.infinite} vs recompute {diam} "
+                            f"infinite={not connected}",
+                        )
+                    )
+    finally:
+        engine.close()
+    return found
+
+
+# ----------------------------------------------------------------------
+# Trace shrinking
+# ----------------------------------------------------------------------
+def _atomize(steps) -> list[MutationStep]:
+    """Explode steps into single-operation steps (order preserved)."""
+    atoms = []
+    for step in steps:
+        for edge in step.inserts:
+            atoms.append(MutationStep(inserts=(edge,)))
+        for edge in step.deletes:
+            atoms.append(MutationStep(deletes=(edge,)))
+        for query in step.queries:
+            atoms.append(MutationStep(queries=(query,)))
+    return atoms
+
+
+def shrink_trace(
+    trace: MutationTrace, predicate, *, max_rounds: int = 3
+) -> MutationTrace:
+    """ddmin a failing trace: steps, then single ops, then base edges.
+
+    ``predicate`` receives a candidate :class:`MutationTrace` and must
+    return ``True`` iff the failure still reproduces (the fuzz runner
+    builds it label-matched, like the static shrinker's). Step and op
+    passes exploit that any subsequence of steps is a valid trace; the
+    base-edge pass keeps the vertex count fixed so step endpoints stay
+    in range.
+    """
+    from repro.verify.shrink import _ddmin
+
+    if not predicate(trace):
+        raise ValueError(
+            "shrink_trace: the failure does not reproduce on the input trace"
+        )
+    current = trace
+    for _ in range(max_rounds):
+        before = (len(current.steps), current.ops, current.graph.num_edges)
+        # Pass 1: drop whole steps.
+        steps = list(current.steps)
+        if len(steps) >= 2:
+            graph = current.graph
+            kept = _ddmin(
+                steps,
+                lambda sub: MutationTrace(graph=graph, steps=tuple(sub)),
+                predicate,
+            )
+            current = MutationTrace(graph=graph, steps=tuple(kept))
+        # Pass 2: drop individual operations.
+        atoms = _atomize(current.steps)
+        if len(atoms) >= 2:
+            graph = current.graph
+            kept = _ddmin(
+                atoms,
+                lambda sub: MutationTrace(graph=graph, steps=tuple(sub)),
+                predicate,
+            )
+            current = MutationTrace(graph=graph, steps=tuple(kept))
+        # Pass 3: drop base-graph edges (vertex count fixed).
+        base = current.graph
+        n = base.num_vertices
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(base.indptr))
+        cols = base.indices.astype(np.int64)
+        upper = row_of < cols
+        base_edges = list(zip(row_of[upper].tolist(), cols[upper].tolist()))
+        if len(base_edges) >= 2:
+            steps_now = current.steps
+
+            def rebuild(subset, _steps=steps_now, _n=n, _name=base.name):
+                return MutationTrace(
+                    graph=_rebuild(_n, set(subset), _name), steps=_steps
+                )
+
+            kept = _ddmin(base_edges, rebuild, predicate)
+            current = rebuild(kept)
+        after = (len(current.steps), current.ops, current.graph.num_edges)
+        if after == before:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Replayable trace artifacts
+# ----------------------------------------------------------------------
+def trace_to_json(trace: MutationTrace) -> list[dict]:
+    """The steps as JSON-ready dicts (the ``.json`` sidecar's ``trace``)."""
+    return [
+        {
+            "insert": [list(edge) for edge in step.inserts],
+            "delete": [list(edge) for edge in step.deletes],
+            "queries": [list(query) for query in step.queries],
+        }
+        for step in trace.steps
+    ]
+
+
+def steps_from_json(data) -> tuple[MutationStep, ...]:
+    """Inverse of :func:`trace_to_json`."""
+    steps = []
+    for entry in data:
+        queries = tuple(
+            (str(q[0]), *map(int, q[1:])) for q in entry.get("queries", [])
+        )
+        steps.append(
+            MutationStep(
+                inserts=tuple(_norm(e) for e in entry.get("insert", [])),
+                deletes=tuple(_norm(e) for e in entry.get("delete", [])),
+                queries=queries,
+            )
+        )
+    return tuple(steps)
+
+
+def write_trace_artifact(
+    directory: str | Path,
+    trace: MutationTrace,
+    *,
+    seed: int,
+    label: str,
+    message: str,
+    original_steps: int | None = None,
+) -> Path:
+    """Persist a minimized failing trace; returns the ``.npz`` path.
+
+    The ``.npz`` holds the (possibly edge-shrunk) base graph; the
+    ``.json`` sidecar embeds the full minimized step sequence, so
+    ``repro fuzz --replay`` re-runs the mutations, not just the static
+    battery on the base graph.
+    """
+    from repro.verify.shrink import _slug
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"fuzz-mutate-{_slug(label)}-{seed}"
+    npz_path = directory / f"{stem}.npz"
+    save_npz(trace.graph, npz_path)
+    meta = {
+        "seed": int(seed),
+        "label": label,
+        "message": message,
+        "kind": "mutation-trace",
+        "num_vertices": int(trace.graph.num_vertices),
+        "num_edges": int(trace.graph.num_edges),
+        "steps": len(trace.steps),
+        "original_steps": (
+            int(original_steps)
+            if original_steps is not None
+            else len(trace.steps)
+        ),
+        "trace": trace_to_json(trace),
+        "digest": graph_digest(trace.graph),
+        "replay": f"python -m repro fuzz --replay {npz_path}",
+    }
+    (directory / f"{stem}.json").write_text(json.dumps(meta, indent=2) + "\n")
+    return npz_path
+
+
+# ----------------------------------------------------------------------
+# The budgeted campaign
+# ----------------------------------------------------------------------
+def _trace_rng(trial_seed: int) -> np.random.Generator:
+    # Distinct stream from both the graph sampler and the static
+    # trial rng, same determinism.
+    return np.random.default_rng((trial_seed, 0xD1A))
+
+
+def _labels(disagreements) -> set[str]:
+    return {d.label for d in disagreements}
+
+
+def _shrink_and_record_trace(
+    trace: MutationTrace,
+    family: str,
+    trial_seed: int,
+    disagreements: list[Disagreement],
+    *,
+    shrink: bool,
+    artifact_dir,
+) -> MutationFailure:
+    minimized = trace
+    if shrink:
+        labels = _labels(disagreements)
+
+        def predicate(candidate: MutationTrace) -> bool:
+            return bool(_labels(run_mutation_trace(candidate)) & labels)
+
+        try:
+            minimized = shrink_trace(trace, predicate)
+        except ValueError:
+            minimized = trace  # flaky repro; keep the unshrunk report
+    artifact = None
+    if artifact_dir is not None:
+        first = disagreements[0]
+        artifact = write_trace_artifact(
+            artifact_dir,
+            minimized,
+            seed=trial_seed,
+            label=first.label,
+            message=str(first),
+            original_steps=len(trace.steps),
+        )
+    return MutationFailure(
+        trial_seed=trial_seed,
+        graph_name=trace.graph.name,
+        family=family,
+        disagreements=tuple(disagreements),
+        original_steps=len(trace.steps),
+        shrunk_steps=len(minimized.steps),
+        shrunk_ops=minimized.ops,
+        shrunk_vertices=minimized.graph.num_vertices,
+        shrunk_edges=minimized.graph.num_edges,
+        artifact=artifact,
+    )
+
+
+def fuzz_mutation(
+    *,
+    seed: int = 0,
+    budget: float = 60.0,
+    max_trials: int | None = None,
+    max_vertices: int = 48,
+    steps: int = 8,
+    artifact_dir: str | Path | None = None,
+    shrink: bool = True,
+    max_failures: int = 5,
+    progress=None,
+):
+    """Run a mutation-fuzz campaign; stop on budget or trial count.
+
+    Mirrors :func:`repro.verify.runner.fuzz` (same trial-seed stride,
+    same stop conditions, same :class:`FuzzResult` container) but each
+    trial samples a mutation trace over the sampled graph and runs
+    :func:`run_mutation_trace` instead of the static battery. Failures
+    are :class:`MutationFailure` records whose artifacts embed the
+    minimized trace.
+    """
+    from repro.generators.registry import build_fuzz_graph
+    from repro.verify.runner import _TRIAL_STRIDE, FuzzResult
+
+    started = time.monotonic()
+    result = FuzzResult(seed=seed)
+    trial = 0
+    while True:
+        result.elapsed = time.monotonic() - started
+        if result.elapsed >= budget:
+            break
+        if max_trials is not None and trial >= max_trials:
+            break
+        if len(result.failures) >= max_failures:
+            break
+        trial_seed = seed + trial * _TRIAL_STRIDE
+        graph, family = build_fuzz_graph(trial_seed, max_vertices=max_vertices)
+        result.families[family] = result.families.get(family, 0) + 1
+        trace = sample_trace(graph, _trace_rng(trial_seed), steps=steps)
+        disagreements = run_mutation_trace(trace)
+        if disagreements:
+            failure = _shrink_and_record_trace(
+                trace,
+                family,
+                trial_seed,
+                disagreements,
+                shrink=shrink,
+                artifact_dir=artifact_dir,
+            )
+            result.failures.append(failure)
+            if progress is not None:
+                progress(f"FAIL {failure}")
+        elif progress is not None and trial % 10 == 0:
+            progress(
+                f"trial {trial} ok ({family}, {len(trace.steps)} steps, "
+                f"{time.monotonic() - started:.1f}s elapsed)"
+            )
+        trial += 1
+    result.trials = trial
+    result.elapsed = time.monotonic() - started
+    return result

@@ -259,11 +259,23 @@ def replay(path: str | Path, *, seed: int | None = None) -> list[Disagreement]:
 
     Uses the seed recorded in the ``.json`` sidecar unless overridden,
     so the replay exercises the exact query batch and metamorphic
-    mutations of the original trial.
+    mutations of the original trial. Mutation-fuzz artifacts (whose
+    sidecar embeds a ``trace``) replay the recorded insert/delete/query
+    interleaving through :func:`repro.verify.mutation
+    .run_mutation_trace` instead of the static battery.
     """
     from repro.verify.shrink import load_artifact
 
     graph, meta = load_artifact(path)
     if seed is None:
         seed = int(meta.get("seed", 0))
+    if "trace" in meta:
+        from repro.verify.mutation import (
+            MutationTrace,
+            run_mutation_trace,
+            steps_from_json,
+        )
+
+        trace = MutationTrace(graph=graph, steps=steps_from_json(meta["trace"]))
+        return run_mutation_trace(trace)
     return run_trial(graph, _trial_rng(seed))

@@ -215,3 +215,70 @@ class TestSpectrumCache:
             warm, _ = spectrum_cached(graph, store=store)
         plain = eccentricity_spectrum(graph)
         assert np.array_equal(warm.eccentricities, plain.eccentricities)
+
+
+class TestStaleRejects:
+    """Warm-start state must never cross a mutation epoch (ISSUE 10).
+
+    Two failure modes are pinned down: landmark rows whose shape went
+    stale are discarded *and counted* (``stale_rejects``), and a
+    mutated dynamic graph's new epoch digest makes the old sidecar
+    invisible — a clean cold run with zero stale artifacts reused,
+    rather than a warm start from another epoch's bounds.
+    """
+
+    def test_stale_landmark_rows_counted_and_discarded(self, graph, store):
+        from repro.query import QueryEngine
+
+        spectrum_cached(graph, store=store)
+        art = store.load(graph)
+        assert len(art.landmark_sources)
+        # Rows for a different width than the graph: unusable as memo.
+        art.landmark_dists = art.landmark_dists[:, :-1].copy()
+        store.save(art)
+        engine = QueryEngine(store=store)
+        try:
+            with pytest.warns(UserWarning, match="stale landmark"):
+                key = engine.add_graph(graph)
+            assert store.stale_rejects == 1
+            assert store.counters()["stale_rejects"] == 1
+            # The reject is a discard, not a poisoning: no stale row
+            # reached the memo, and cold queries stay correct.
+            assert len(engine._entry(key).memo) == 0
+            answers, _ = engine.run(key, ["dist 0 5", "diam"])
+            assert answers[1] == fdiam(graph).diameter
+        finally:
+            engine.close()
+
+    def test_post_mutation_digest_change_runs_cold(self, graph, store):
+        from repro.dynamic import DynamicGraph
+        from repro.query import QueryEngine
+
+        dgraph = DynamicGraph(graph)
+        # Seed a sidecar keyed by the epoch-0 digest.
+        fdiam_cached(dgraph.view(), store=store)
+        art = store.load(dgraph.view())
+        art.digest = dgraph.digest()
+        store.save(art)
+
+        engine = QueryEngine(store=store)
+        try:
+            hits0 = store.hits
+            key = engine.add_graph(dgraph)
+            assert store.hits == hits0 + 1  # epoch 0: warm start works
+            assert engine._entry(key).maintainer.valid_epoch == 0
+
+            engine.mutate(key, inserts=[(0, 1), (0, 2)], deletes=[(0, 1)])
+            assert dgraph.epoch == 1
+
+            # Re-registering at the new epoch must find nothing: the
+            # old sidecar is keyed by a digest that no longer exists.
+            hits1, rejects1 = store.hits, store.stale_rejects
+            engine.add_graph(dgraph, key="fresh")
+            assert store.hits == hits1  # load attempted, no artifact
+            assert store.stale_rejects == rejects1  # nothing to reject
+            assert engine._entry("fresh").maintainer.valid_epoch == -1
+            answers, _ = engine.run("fresh", ["diam"])
+            assert answers[0] == fdiam(dgraph.view()).diameter
+        finally:
+            engine.close()

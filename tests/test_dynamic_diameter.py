@@ -1,0 +1,243 @@
+"""DynamicDiameter: repair rules, cost-model fallback, engine epochs.
+
+Covers the repair-rule contracts from DESIGN.md §16: insert-only
+windows repair incrementally (witness BFS + candidate sweep) and stay
+exact; any deletion or a disconnected previous state forces a cold
+recompute; the cost model falls back to recompute when the candidate
+sweep would cost more than ``repair_budget_factor ×`` the last cold
+run; and the QueryEngine invalidates memoized rows, cached diameters,
+and warm-start seeds at every epoch boundary.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.bfs.reference import serial_distances
+from repro.core import FDiamConfig, fdiam
+from repro.dynamic import DynamicDiameter, DynamicGraph
+from repro.errors import AlgorithmError
+from repro.graph import from_networkx
+from repro.query import QueryEngine
+
+
+def path_graph(n: int = 12):
+    return from_networkx(nx.path_graph(n))
+
+
+def true_diameter(view) -> tuple[int, bool]:
+    result = fdiam(view, FDiamConfig())
+    return result.diameter, result.infinite
+
+
+class TestRepairRules:
+    def test_initial_refresh_is_a_cold_recompute(self):
+        maintainer = DynamicDiameter(DynamicGraph(path_graph(12)))
+        stats = maintainer.refresh()
+        assert stats.strategy == "recompute"
+        assert "initial" in stats.reason
+        assert maintainer.diameter == 11
+        assert maintainer.connected and not maintainer.infinite
+        assert maintainer.valid_epoch == 0
+
+    def test_noop_when_epoch_unchanged(self):
+        maintainer = DynamicDiameter(DynamicGraph(path_graph(12)))
+        maintainer.refresh()
+        stats = maintainer.refresh()
+        assert stats.strategy == "noop"
+        assert stats.bfs_traversals == 0
+
+    def test_insert_only_window_repairs_and_stays_exact(self):
+        dgraph = DynamicGraph(path_graph(12))
+        # A generous budget: on a 12-vertex path the cold run needs so
+        # few BFS that the default cost model would (correctly) fall
+        # back; here we want to observe the repair path itself.
+        maintainer = DynamicDiameter(dgraph, repair_budget_factor=64.0)
+        maintainer.refresh()
+        dgraph.apply(inserts=[(0, 11)])  # P12 -> C12: diameter 11 -> 6
+        stats = maintainer.refresh()
+        assert stats.strategy == "repair"
+        assert maintainer.diameter == 6
+        assert maintainer.repairs == 1
+        # One witness BFS plus at most one BFS per candidate.
+        assert 1 <= stats.bfs_traversals <= 1 + stats.candidates
+
+    def test_deletion_forces_recompute(self):
+        dgraph = DynamicGraph(path_graph(12))
+        dgraph.apply(inserts=[(0, 11)])
+        maintainer = DynamicDiameter(dgraph)
+        maintainer.refresh()
+        recomputes = maintainer.recomputes
+        dgraph.apply(deletes=[(5, 6)])  # C12 -> P12 again, diameter 11
+        stats = maintainer.refresh()
+        assert stats.strategy == "recompute"
+        assert "deletion" in stats.reason
+        assert maintainer.diameter == 11
+        assert maintainer.recomputes == recomputes + 1
+
+    def test_disconnected_previous_state_forces_recompute(self):
+        # Two components: insertions can merge them, and the
+        # max-over-components convention is not monotone under that.
+        graph = from_networkx(
+            nx.disjoint_union(nx.path_graph(4), nx.path_graph(5))
+        )
+        dgraph = DynamicGraph(graph)
+        maintainer = DynamicDiameter(dgraph)
+        maintainer.refresh()
+        assert maintainer.infinite
+        assert maintainer.diameter == 4  # largest-component convention
+        dgraph.apply(inserts=[(3, 4)])  # bridge -> P9
+        stats = maintainer.refresh()
+        assert stats.strategy == "recompute"
+        assert "disconnected" in stats.reason
+        assert not maintainer.infinite
+        assert maintainer.diameter == 8
+
+    def test_cost_model_fallback_at_zero_budget(self):
+        dgraph = DynamicGraph(path_graph(12))
+        maintainer = DynamicDiameter(dgraph, repair_budget_factor=0.0)
+        maintainer.refresh()
+        dgraph.apply(inserts=[(0, 11)])
+        stats = maintainer.refresh()
+        assert stats.strategy == "recompute"
+        assert "exceeds" in stats.reason
+        assert maintainer.diameter == 6
+        assert maintainer.repairs == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AlgorithmError):
+            DynamicDiameter(DynamicGraph(path_graph(4)), repair_budget_factor=-1)
+
+    def test_randomized_churn_matches_fdiam(self):
+        # The property the mutation fuzzer enforces at scale, in
+        # miniature: after every batch the maintainer equals a cold run.
+        rng = np.random.default_rng(11)
+        base = from_networkx(nx.random_regular_graph(3, 20, seed=2))
+        dgraph = DynamicGraph(base)
+        maintainer = DynamicDiameter(dgraph)
+        strategies = set()
+        for _ in range(20):
+            n = dgraph.num_vertices
+            inserts, deletes = [], []
+            u, v = sorted(rng.choice(n, size=2, replace=False).tolist())
+            inserts.append((int(u), int(v)))
+            if rng.random() < 0.4:
+                x, y = sorted(rng.choice(n, size=2, replace=False).tolist())
+                deletes.append((int(x), int(y)))
+            dgraph.apply(inserts=inserts, deletes=deletes)
+            stats = maintainer.refresh()
+            strategies.add(stats.strategy)
+            want_diam, want_inf = true_diameter(dgraph.view())
+            assert (maintainer.diameter, maintainer.infinite) == (
+                want_diam,
+                want_inf,
+            ), f"epoch {dgraph.epoch} via {stats.strategy}"
+        assert "repair" in strategies and "recompute" in strategies
+
+
+class TestSeeding:
+    def _artifact(self, dgraph, **overrides):
+        from types import SimpleNamespace
+
+        view = dgraph.view()
+        dists = np.stack(
+            [serial_distances(view, s) for s in range(view.num_vertices)]
+        )
+        ecc = dists.max(axis=1)
+        diameter = int(ecc.max())
+        fields = dict(
+            digest=dgraph.digest(),
+            num_vertices=view.num_vertices,
+            witness=int(np.argmax(ecc)),
+            diameter=diameter,
+            status=ecc.astype(np.int64),
+            connected=bool((dists >= 0).all()),
+        )
+        fields.update(overrides)
+        return SimpleNamespace(**fields)
+
+    def test_seed_skips_initial_recompute(self):
+        dgraph = DynamicGraph(path_graph(12))
+        maintainer = DynamicDiameter(dgraph, repair_budget_factor=64.0)
+        assert maintainer.seed_from_artifacts(self._artifact(dgraph))
+        assert maintainer.valid_epoch == dgraph.epoch
+        # The seeded bounds are repairable state: the next insert-only
+        # window repairs instead of running the "initial" recompute.
+        dgraph.apply(inserts=[(0, 11)])
+        stats = maintainer.refresh()
+        assert stats.strategy == "repair"
+        assert maintainer.diameter == 6
+
+    def test_seed_rejects_wrong_digest(self):
+        dgraph = DynamicGraph(path_graph(12))
+        art = self._artifact(dgraph, digest="not-this-epoch")
+        maintainer = DynamicDiameter(dgraph)
+        assert not maintainer.seed_from_artifacts(art)
+        assert maintainer.valid_epoch == -1
+
+    def test_seed_rejects_stale_epoch_digest(self):
+        dgraph = DynamicGraph(path_graph(12))
+        art = self._artifact(dgraph)  # digest frozen at epoch 0
+        dgraph.apply(inserts=[(0, 11)])
+        maintainer = DynamicDiameter(dgraph)
+        assert not maintainer.seed_from_artifacts(art)
+
+    def test_seed_rejects_shape_and_witness_garbage(self):
+        dgraph = DynamicGraph(path_graph(12))
+        maintainer = DynamicDiameter(dgraph)
+        assert not maintainer.seed_from_artifacts(None)
+        assert not maintainer.seed_from_artifacts(
+            self._artifact(dgraph, num_vertices=5)
+        )
+        assert not maintainer.seed_from_artifacts(
+            self._artifact(dgraph, witness=99)
+        )
+
+
+class TestEngineEpochs:
+    def test_mutate_rejected_for_static_graphs(self):
+        engine = QueryEngine()
+        try:
+            key = engine.add_graph(path_graph(8))
+            with pytest.raises(AlgorithmError, match="static"):
+                engine.mutate(key, inserts=[(0, 7)])
+        finally:
+            engine.close()
+
+    def test_epoch_invalidates_memo_and_diameter(self):
+        dgraph = DynamicGraph(path_graph(12))
+        engine = QueryEngine()
+        try:
+            key = engine.add_graph(dgraph)
+            answers, _ = engine.run(key, ["dist 0 11", "diam"])
+            assert answers == [11, 11]
+            assert engine.graph_epoch(key) == 0
+            # Memoize the row for source 0, then invalidate it: the
+            # chord makes the memoized distance stale by 9.
+            batch = engine.mutate(key, inserts=[(0, 10)])
+            assert batch.mutated
+            assert engine.graph_epoch(key) == 1
+            answers, stats = engine.run(key, ["dist 0 11", "diam", "ecc 5"])
+            assert stats.epoch == 1
+            view = dgraph.view()
+            assert answers[0] == serial_distances(view, 0)[11] == 2
+            assert answers[2] == serial_distances(view, 5).max()
+            assert answers[1] == true_diameter(view)[0]
+        finally:
+            engine.close()
+
+    def test_noop_mutation_keeps_epoch_and_memo(self):
+        dgraph = DynamicGraph(path_graph(8))
+        engine = QueryEngine()
+        try:
+            key = engine.add_graph(dgraph)
+            engine.run(key, ["dist 0 7"])
+            batch = engine.mutate(key, inserts=[(0, 1)])  # already present
+            assert not batch.mutated
+            assert engine.graph_epoch(key) == 0
+            _, stats = engine.run(key, ["dist 0 7"])
+            assert stats.memo_hits == 1  # memo survived the no-op
+        finally:
+            engine.close()

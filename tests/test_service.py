@@ -39,7 +39,7 @@ def small_graph(n: int = 96, seed: int = 3):
     return from_networkx(nx.random_regular_graph(4, n, seed=seed))
 
 
-def serve(test, *, config=None, graphs=None, **kwargs):
+def serve(test, *, config=None, graphs=None, dynamic=False, **kwargs):
     """Boot a service on an ephemeral port, run ``test(service, host,
     port)``, and always close it — one helper so every test follows
     the same lifecycle."""
@@ -47,7 +47,7 @@ def serve(test, *, config=None, graphs=None, **kwargs):
     async def main():
         service = QueryService(config=config, **kwargs)
         for key, graph in (graphs or {"g": small_graph()}).items():
-            service.add_graph(key, graph=graph)
+            service.add_graph(key, graph=graph, dynamic=dynamic)
         host, port = await service.start()
         try:
             return await test(service, host, port)
@@ -344,3 +344,140 @@ class TestSchedulerUnits:
         assert snap["count"] == 5  # lifetime count survives the ring
         assert snap["window_samples"] == 4
         assert snap["p50_ms"] >= 1000.0  # seconds in, milliseconds out
+
+
+class TestMutation:
+    """POST /mutate against a dynamic graph, interleaved with queries.
+
+    The ordering contract under test: every response carries the epoch
+    it was answered under, and its answers must equal a from-scratch
+    recompute of *that* epoch's graph — regardless of how mutations
+    and queries interleave on the wire.
+    """
+
+    CHORDS = [(5, 31), (3, 31), (1, 31)]
+
+    def _expected_by_epoch(self):
+        # d(0, 31) on P32 as each chord lands: 31 -> 6 -> 4 -> 2.
+        from repro.bfs.reference import serial_distances
+
+        graphs = {0: from_networkx(nx.path_graph(32))}
+        edges = list(nx.path_graph(32).edges())
+        for i, chord in enumerate(self.CHORDS, start=1):
+            edges.append(chord)
+            graphs[i] = from_networkx(nx.Graph(edges))
+        return {
+            epoch: int(serial_distances(graph, 0)[31])
+            for epoch, graph in graphs.items()
+        }
+
+    def test_interleaved_mutations_and_queries_are_epoch_consistent(self):
+        expected = self._expected_by_epoch()
+        assert sorted(expected.values(), reverse=True) == [31, 6, 4, 2]
+
+        async def test(service, host, port):
+            stop = asyncio.Event()
+            checked = []
+
+            async def churn():
+                # Concurrent load: every answer must match the epoch
+                # its own response reports, whatever that epoch is.
+                async with ServiceClient(host, port) as client:
+                    while not stop.is_set():
+                        status, payload = await client.query("g", "dist 0 31")
+                        assert status == 200, payload
+                        checked.append(
+                            (payload["answers"][0], payload["epochs"][0])
+                        )
+
+            churners = [asyncio.create_task(churn()) for _ in range(4)]
+            async with ServiceClient(host, port) as client:
+                status, payload = await client.query("g", "dist 0 31")
+                assert (payload["answers"][0], payload["epochs"][0]) == (31, 0)
+                for i, chord in enumerate(self.CHORDS, start=1):
+                    status, payload = await client.mutate(
+                        "g", insert=[chord]
+                    )
+                    assert status == 200, payload
+                    assert payload["epoch"] == i
+                    assert payload["applied"]["inserted"] == 1
+                    status, payload = await client.query("g", "dist 0 31")
+                    assert payload["epochs"][0] == i
+                    assert payload["answers"][0] == expected[i]
+                    await asyncio.sleep(0.01)
+            stop.set()
+            await asyncio.gather(*churners)
+            return checked
+
+        checked = serve(
+            test,
+            config=SchedulerConfig(window_s=0.002, adaptive=False),
+            graphs={"g": from_networkx(nx.path_graph(32))},
+            dynamic=True,
+        )
+        assert checked  # the churners actually ran
+        for answer, epoch in checked:
+            assert answer == expected[epoch], (answer, epoch)
+        assert len({epoch for _, epoch in checked}) >= 2  # saw a boundary
+
+    def test_mutate_noop_and_counters(self):
+        async def test(service, host, port):
+            async with ServiceClient(host, port) as client:
+                status, payload = await client.mutate(
+                    "g", insert=[(0, 1)], delete=[(9, 31)]
+                )
+                assert status == 200
+                assert payload["epoch"] == 0  # nothing actually changed
+                assert payload["applied"] == {
+                    "inserted": 0,
+                    "deleted": 0,
+                    "noop_inserts": 1,
+                    "noop_deletes": 1,
+                }
+                status, payload = await client.mutate(
+                    "g", insert=[(0, 9)], delete=[(0, 1)]
+                )
+                assert status == 200 and payload["epoch"] == 1
+            return service.stats.snapshot()
+
+        snap = serve(
+            test,
+            graphs={"g": from_networkx(nx.path_graph(32))},
+            dynamic=True,
+        )
+        assert snap["mutations"] == 2
+        assert snap["mutated_edges"] == 2
+
+    def test_mutate_static_graph_rejected(self):
+        async def test(service, host, port):
+            async with ServiceClient(host, port) as client:
+                status, payload = await client.mutate("g", insert=[(0, 1)])
+                assert status == 400
+                assert "static" in payload["error"]
+
+        serve(test)
+
+    def test_mutate_error_surface(self):
+        async def test(service, host, port):
+            async with ServiceClient(host, port) as client:
+                status, _ = await client.mutate("ghost", insert=[(0, 1)])
+                assert status == 404
+                status, payload = await client.request(
+                    "POST", "/mutate", {"graph": "g", "insert": "nope"}
+                )
+                assert status == 400
+                status, _ = await client.request("POST", "/mutate", {})
+                assert status == 400
+                status, payload = await client.mutate(
+                    "g", insert=[(0, 999)]
+                )
+                assert status == 400
+                assert "out of range" in payload["error"]
+                status, _ = await client.request("GET", "/mutate")
+                assert status == 405
+
+        serve(
+            test,
+            graphs={"g": from_networkx(nx.path_graph(32))},
+            dynamic=True,
+        )

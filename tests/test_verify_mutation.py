@@ -1,0 +1,150 @@
+"""The differential mutation fuzzer: traces, shrinking, self-tests.
+
+The fuzzer is only evidence of correctness if it (a) stays silent on
+the real implementation and (b) demonstrably catches a broken repair
+rule. Both halves are proven here: seeded campaigns over the fuzz
+graph families run clean, and each ``dynamic``-domain fault from
+:mod:`repro.verify.faults` is caught, ddmin-shrunk, and round-tripped
+through a replayable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators.registry import build_fuzz_graph
+from repro.graph import from_networkx
+from repro.verify import (
+    available_faults,
+    check_edge_deletion_monotone,
+    check_insert_delete_identity,
+    fuzz_mutation,
+    inject_fault,
+    replay,
+    run_mutation_trace,
+    sample_trace,
+    shrink_trace,
+)
+from repro.verify.mutation import (
+    MutationStep,
+    MutationTrace,
+    steps_from_json,
+    trace_to_json,
+    write_trace_artifact,
+)
+
+
+def fuzz_graph(seed=3):
+    graph, _family = build_fuzz_graph(seed, max_vertices=32)
+    return graph
+
+
+class TestTraces:
+    def test_sample_trace_is_deterministic(self):
+        graph = fuzz_graph()
+        a = sample_trace(graph, np.random.default_rng(9), steps=6)
+        b = sample_trace(graph, np.random.default_rng(9), steps=6)
+        assert a.steps == b.steps
+        assert len(a.steps) == 6
+        # Every step probes the diameter, so epoch invalidation is
+        # checked at every epoch, not just the final one.
+        assert all(step.queries[0] == ("diam",) for step in a.steps)
+
+    def test_trivial_graph_yields_empty_trace(self):
+        graph = from_networkx(nx.empty_graph(1))
+        trace = sample_trace(graph, np.random.default_rng(0))
+        assert trace.steps == ()
+        assert run_mutation_trace(trace) == []
+
+    def test_json_roundtrip(self):
+        trace = sample_trace(fuzz_graph(), np.random.default_rng(4), steps=5)
+        assert steps_from_json(trace_to_json(trace)) == trace.steps
+
+    def test_clean_trace_has_no_disagreements(self):
+        trace = sample_trace(fuzz_graph(), np.random.default_rng(1), steps=6)
+        assert run_mutation_trace(trace) == []
+
+    def test_clean_campaign(self):
+        result = fuzz_mutation(seed=0, max_trials=4, steps=5, shrink=False)
+        assert result.trials == 4
+        assert not result.failures
+        assert sum(result.families.values()) == 4
+
+    def test_shrink_requires_a_failing_input(self):
+        trace = sample_trace(fuzz_graph(), np.random.default_rng(1), steps=4)
+        with pytest.raises(ValueError):
+            shrink_trace(trace, lambda candidate: False)
+
+
+class TestFaultSelfTest:
+    @pytest.mark.parametrize("fault", sorted(available_faults("dynamic")))
+    def test_dynamic_fault_is_caught(self, fault):
+        # The mirror of the oracle's static-fault self-test: a broken
+        # repair rule must surface as a recompute disagreement within a
+        # modest seeded campaign.
+        with inject_fault(fault):
+            result = fuzz_mutation(
+                seed=0,
+                max_trials=40,
+                budget=300.0,
+                shrink=False,
+                max_failures=1,
+            )
+        assert result.failures, f"{fault} never caught in 40 trials"
+        labels = {d.label for f in result.failures for d in f.disagreements}
+        assert any(label.startswith("mutation/") for label in labels)
+
+    def test_caught_fault_shrinks_to_replayable_artifact(self, tmp_path):
+        with inject_fault("dynamic-deletes-keep-bounds"):
+            result = fuzz_mutation(
+                seed=0,
+                max_trials=40,
+                budget=300.0,
+                shrink=True,
+                max_failures=1,
+                artifact_dir=tmp_path,
+            )
+            assert result.failures
+            failure = result.failures[0]
+            assert failure.shrunk_steps <= failure.original_steps
+            assert failure.artifact is not None and failure.artifact.exists()
+            meta = json.loads(
+                failure.artifact.with_suffix(".json").read_text()
+            )
+            assert meta["kind"] == "mutation-trace"
+            assert meta["steps"] == failure.shrunk_steps
+            # Replay with the fault still active reproduces it ...
+            replayed = replay(failure.artifact)
+            assert {d.label for d in replayed} & {
+                d.label for d in failure.disagreements
+            }
+        # ... and the same artifact is clean once the fault is gone,
+        # so the artifact blames the bug, not the trace machinery.
+        assert replay(failure.artifact) == []
+
+    def test_artifact_roundtrip_without_campaign(self, tmp_path):
+        trace = MutationTrace(
+            graph=fuzz_graph(),
+            steps=(
+                MutationStep(inserts=((0, 5),), queries=(("diam",),)),
+                MutationStep(deletes=((0, 5),), queries=(("diam",),)),
+            ),
+        )
+        path = write_trace_artifact(
+            tmp_path, trace, seed=7, label="mutation/diam", message="m"
+        )
+        assert replay(path) == []
+
+
+class TestMetamorphicDeletions:
+    def test_edge_deletion_monotone_clean(self):
+        rng = np.random.default_rng(5)
+        assert check_edge_deletion_monotone(fuzz_graph(), rng) == []
+
+    def test_insert_delete_identity_clean(self):
+        rng = np.random.default_rng(6)
+        assert check_insert_delete_identity(fuzz_graph(), rng) == []
